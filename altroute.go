@@ -1,0 +1,231 @@
+// Package altroute is a library for controlled alternate routing in
+// general-mesh packet-flow networks with per-call bandwidth reservation,
+// reproducing Sibal & DeSimone, "Controlling Alternate Routing in
+// General-Mesh Packet Flow Networks" (SIGCOMM 1994).
+//
+// The scheme layers a state-dependent tier over any state-independent (SI)
+// routing rule: a call blocked on its SI primary path attempts loop-free
+// alternate paths in order of increasing hop length, and each link admits
+// alternate-routed calls only while its occupancy is below C−r, where the
+// state-protection level r is the smallest value satisfying the paper's
+// Equation 15,
+//
+//	B(Λ, C) / B(Λ, C−r) <= 1/H,
+//
+// with B the Erlang-B blocking function, Λ the link's primary traffic
+// demand, and H the maximum alternate hop length. Under Poisson assumptions
+// this guarantees the controlled scheme never performs worse than the SI
+// rule alone, while behaving like free alternate routing at low load.
+//
+// # Quick start
+//
+//	g := altroute.Quadrangle()                  // 4-node complete network
+//	m := altroute.UniformMatrix(4, 90)          // 90 Erlangs per O-D pair
+//	scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{})
+//	if err != nil { ... }
+//	trace := altroute.GenerateTrace(m, 110, 1)  // seed 1, horizon 110
+//	res, err := altroute.Run(altroute.RunConfig{
+//		Graph: g, Policy: scheme.Controlled(), Trace: trace, Warmup: 10,
+//	})
+//	fmt.Println(res.Blocking())
+//
+// The experiments subpackage entry points (Fig2, QuadrangleFigure,
+// Table1, NSFNetFigure, …) regenerate every table and figure of the paper's
+// evaluation; cmd/altsim exposes them on the command line.
+package altroute
+
+import (
+	"repro/internal/bound"
+	"repro/internal/core"
+	"repro/internal/erlang"
+	"repro/internal/fixedpoint"
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/optimize"
+	"repro/internal/paths"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Core graph and routing types.
+type (
+	// Graph is a directed capacitated multigraph; links are unidirectional
+	// with integer call capacities.
+	Graph = graph.Graph
+	// NodeID identifies a node (dense integers from 0).
+	NodeID = graph.NodeID
+	// LinkID identifies a directed link (dense integers from 0).
+	LinkID = graph.LinkID
+	// Link is one unidirectional facility.
+	Link = graph.Link
+	// Path is a loop-free route (node and link sequences).
+	Path = paths.Path
+	// Matrix is a dense O-D offered-traffic matrix in Erlangs.
+	Matrix = traffic.Matrix
+	// Scheme is a fully derived controlled-alternate-routing configuration:
+	// route table, per-link primary demands Λ, and protection levels r.
+	Scheme = core.Scheme
+	// SchemeOptions tunes scheme derivation (H, load overrides).
+	SchemeOptions = core.Options
+	// RouteTable is the shared per-pair route suite (primary + ordered
+	// alternates) consumed by every policy.
+	RouteTable = policy.Table
+	// WeightedPath is a bifurcated-primary component (path + probability).
+	WeightedPath = policy.WeightedPath
+)
+
+// Simulation types.
+type (
+	// Call is one point-to-point call request.
+	Call = sim.Call
+	// Trace is an immutable arrival sequence replayable against any policy.
+	Trace = sim.Trace
+	// Policy routes calls against live network state.
+	Policy = sim.Policy
+	// RunConfig parameterizes a simulation run.
+	RunConfig = sim.Config
+	// RunResult aggregates a run's measurements.
+	RunResult = sim.Result
+	// SignalingConfig parameterizes a run with explicit two-phase call
+	// set-up (per-hop latency, booking races).
+	SignalingConfig = sim.SignalingConfig
+	// SignalingResult extends RunResult with set-up race accounting.
+	SignalingResult = sim.SignalingResult
+)
+
+// Topologies.
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// Quadrangle returns the paper's fully-connected symmetric 4-node network
+// (§4.1), C=100 per direction.
+func Quadrangle() *Graph { return netmodel.Quadrangle() }
+
+// NSFNet returns the paper's 12-node NSFNet T3 Backbone model (§4.2).
+func NSFNet() *Graph { return netmodel.NSFNet() }
+
+// CompleteGraph returns a fully-connected duplex network on n nodes.
+func CompleteGraph(n, capacity int) *Graph { return netmodel.Complete(n, capacity) }
+
+// Traffic.
+
+// NewMatrix returns an all-zero n×n traffic matrix.
+func NewMatrix(n int) *Matrix { return traffic.NewMatrix(n) }
+
+// UniformMatrix returns a matrix with every off-diagonal entry set to
+// demand Erlangs (the §4.1 symmetric workload).
+func UniformMatrix(n int, demand float64) *Matrix { return traffic.Uniform(n, demand) }
+
+// NSFNetNominalMatrix returns the reconstructed nominal NSFNet traffic
+// matrix (Load=10 of Figures 6/7), fitted so its induced primary link loads
+// equal the paper's Table 1. The returned matrix is a shared read-only
+// singleton; use Clone or Scaled before mutating.
+func NSFNetNominalMatrix() (*Matrix, error) {
+	m, _, err := traffic.NSFNetNominal()
+	return m, err
+}
+
+// Scheme construction.
+
+// NewScheme derives a controlled-alternate-routing configuration for
+// min-hop SI primaries: route table, Λ per link (Equation 1), r per link
+// (Equation 15), and the comparable policies of §4.
+func NewScheme(g *Graph, m *Matrix, opts SchemeOptions) (*Scheme, error) {
+	return core.New(g, m, opts)
+}
+
+// NewSchemeWithTable derives a scheme over an externally built route table
+// (e.g. bifurcated min-loss primaries from MinLossPrimaries).
+func NewSchemeWithTable(g *Graph, m *Matrix, t *RouteTable, opts SchemeOptions) (*Scheme, error) {
+	return core.NewWithTable(g, m, t, opts)
+}
+
+// BuildRouteTable computes the min-hop route table with alternates limited
+// to maxAltHops (0 = unlimited loop-free).
+func BuildRouteTable(g *Graph, maxAltHops int) (*RouteTable, error) {
+	return policy.BuildMinHop(g, maxAltHops)
+}
+
+// MinLossPrimaries computes the §4 min-loss bifurcated SI primaries by flow
+// deviation on the convex expected-loss objective.
+func MinLossPrimaries(g *Graph, m *Matrix) (map[[2]NodeID][]WeightedPath, error) {
+	res, err := optimize.MinLossPrimaries(g, m, optimize.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Primaries, nil
+}
+
+// BuildBifurcatedTable builds a route table from bifurcated primaries.
+func BuildBifurcatedTable(g *Graph, primaries map[[2]NodeID][]WeightedPath, maxAltHops int, seed int64) (*RouteTable, error) {
+	return policy.BuildBifurcated(g, primaries, maxAltHops, seed)
+}
+
+// Simulation.
+
+// GenerateTrace draws the Poisson arrival sequence for the matrix over
+// [0, horizon) with unit-mean exponential holding times. The same (matrix,
+// seed) always produces the same trace, enabling common-random-numbers
+// comparisons across policies.
+func GenerateTrace(m *Matrix, horizon float64, seed int64) *Trace {
+	return sim.GenerateTrace(m, horizon, seed)
+}
+
+// Run replays a trace against a policy with instantaneous call set-up.
+func Run(cfg RunConfig) (*RunResult, error) { return sim.Run(cfg) }
+
+// RunSignaling replays a trace with the paper's explicit set-up packet
+// mechanism: forward capacity checks hop by hop, booking on the way back,
+// with a configurable per-hop latency (0 reproduces Run exactly).
+func RunSignaling(cfg SignalingConfig) (*SignalingResult, error) {
+	return sim.RunSignaling(cfg)
+}
+
+// Loss-system analytics.
+
+// ErlangB returns the Erlang-B blocking probability B(load, capacity).
+func ErlangB(load float64, capacity int) float64 { return erlang.B(load, capacity) }
+
+// ProtectionLevel returns the smallest state-protection level r satisfying
+// Equation 15 for a link with the given primary load and capacity under
+// maximum alternate hop length maxHops.
+func ProtectionLevel(load float64, capacity, maxHops int) int {
+	return erlang.ProtectionLevel(load, capacity, maxHops)
+}
+
+// LossBound returns the Theorem 1 upper bound B(load,C)/B(load,C−r) on the
+// expected primary calls displaced per admitted alternate call.
+func LossBound(load float64, capacity, r int) float64 {
+	return erlang.LossBound(load, capacity, r)
+}
+
+// ErlangBound computes the §4 cut-set lower bound on the overall network
+// blocking of any routing scheme.
+func ErlangBound(g *Graph, m *Matrix) (float64, error) {
+	res, err := bound.ErlangBound(g, m)
+	if err != nil {
+		return 0, err
+	}
+	return res.Blocking, nil
+}
+
+// NewControlledPolicy returns controlled alternate routing over the route
+// table with explicit per-link protection levels (indexed by LinkID) —
+// useful for ablations; NewScheme derives the Equation-15 levels
+// automatically.
+func NewControlledPolicy(t *RouteTable, r []int) Policy {
+	return policy.Controlled{T: t, R: r}
+}
+
+// SolveFixedPoint computes the Erlang fixed-point (reduced-load)
+// approximation of single-path blocking for the route table's primaries:
+// the analytic counterpart of the simulated single-path curve.
+func SolveFixedPoint(g *Graph, m *Matrix, t *RouteTable) (network float64, perLink []float64, err error) {
+	res, err := fixedpoint.Solve(g, m, t, fixedpoint.Options{})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.NetworkBlocking, res.LinkBlocking, nil
+}

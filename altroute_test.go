@@ -1,0 +1,157 @@
+package altroute_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	altroute "repro"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := altroute.Quadrangle()
+	m := altroute.UniformMatrix(4, 90)
+	scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := altroute.GenerateTrace(m, 60, 1)
+	var prev *altroute.RunResult
+	for _, pol := range []altroute.Policy{scheme.SinglePath(), scheme.Uncontrolled(), scheme.Controlled()} {
+		res, err := altroute.Run(altroute.RunConfig{Graph: g, Policy: pol, Trace: tr, Warmup: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Offered == 0 || res.Offered != res.Accepted+res.Blocked {
+			t.Fatalf("%s: bad accounting %+v", pol.Name(), res)
+		}
+		if prev != nil && res.Offered != prev.Offered {
+			t.Fatalf("policies saw different traffic: %d vs %d", res.Offered, prev.Offered)
+		}
+		prev = res
+	}
+}
+
+func TestPublicAnalytics(t *testing.T) {
+	if b := altroute.ErlangB(100, 100); math.Abs(b-0.0757) > 1e-3 {
+		t.Errorf("ErlangB(100,100) = %v", b)
+	}
+	if r := altroute.ProtectionLevel(74, 100, 6); r != 7 {
+		t.Errorf("ProtectionLevel(74,100,6) = %d, want 7 (Table 1)", r)
+	}
+	if lb := altroute.LossBound(74, 100, 0); math.Abs(lb-1) > 1e-12 {
+		t.Errorf("LossBound r=0 = %v, want 1", lb)
+	}
+	g := altroute.Quadrangle()
+	m := altroute.UniformMatrix(4, 100)
+	eb, err := altroute.ErlangBound(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb <= 0 || eb > 0.2 {
+		t.Errorf("ErlangBound = %v", eb)
+	}
+}
+
+func TestPublicNSFNetPieces(t *testing.T) {
+	m, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := m.Total(); total < 700 || total > 1100 {
+		t.Errorf("nominal total %v Erlangs", total)
+	}
+	census, err := altroute.AlternateCensus(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.MaxAlternates != 15 || census.MinAlternates != 5 {
+		t.Errorf("census %+v", census)
+	}
+	tbl, err := altroute.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Verify(1e-4, 26); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicMinLossPipeline(t *testing.T) {
+	g := altroute.NSFNet()
+	m, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaries, err := altroute.MinLossPrimaries(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := altroute.BuildBifurcatedTable(g, primaries, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := altroute.NewSchemeWithTable(g, m, tbl, altroute.SchemeOptions{H: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme.H != 11 {
+		t.Errorf("H = %d", scheme.H)
+	}
+	tr := altroute.GenerateTrace(m, 30, 2)
+	res, err := altroute.Run(altroute.RunConfig{Graph: g, Policy: scheme.Controlled(), Trace: tr, Warmup: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Error("no traffic simulated")
+	}
+}
+
+func TestPublicSignaling(t *testing.T) {
+	g := altroute.Quadrangle()
+	m := altroute.UniformMatrix(4, 80)
+	scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := altroute.GenerateTrace(m, 40, 3)
+	res, err := altroute.RunSignaling(altroute.SignalingConfig{
+		Config:   altroute.RunConfig{Graph: g, Policy: scheme.Controlled(), Trace: tr, Warmup: 10},
+		HopDelay: 0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered != res.Accepted+res.Blocked {
+		t.Error("conservation violated under signaling")
+	}
+}
+
+func ExampleProtectionLevel() {
+	// Link 0→1 of the paper's Table 1: Λ=74 Erlangs on C=100 circuits.
+	fmt.Println(altroute.ProtectionLevel(74, 100, 6))
+	fmt.Println(altroute.ProtectionLevel(74, 100, 11))
+	// Output:
+	// 7
+	// 10
+}
+
+func ExampleErlangB() {
+	fmt.Printf("%.4f\n", altroute.ErlangB(100, 100))
+	// Output:
+	// 0.0757
+}
+
+func ExampleNewScheme() {
+	g := altroute.Quadrangle()
+	m := altroute.UniformMatrix(4, 95)
+	scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// Symmetric network: every link gets the same protection level.
+	fmt.Println(scheme.H, scheme.Protection[0])
+	// Output:
+	// 3 15
+}

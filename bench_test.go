@@ -1,0 +1,463 @@
+package altroute_test
+
+// One benchmark per table and figure of the paper (see DESIGN.md's
+// per-experiment index), plus micro-benchmarks of the underlying machinery
+// and ablation benches for the design choices. Benchmarks run scaled-down
+// replications (1 seed, short horizons) so the full suite completes in
+// minutes; the cmd/altsim harness runs the paper-fidelity versions.
+
+import (
+	"strconv"
+	"testing"
+
+	altroute "repro"
+	"repro/internal/dalfar"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/optimize"
+	"repro/internal/paths"
+)
+
+// benchParams is the scaled-down replication used inside benchmarks.
+var benchParams = altroute.SimParams{Seeds: 1, Warmup: 5, Horizon: 30}
+
+func BenchmarkFig2ProtectionCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if res := altroute.Fig2(0, nil); len(res.Curves) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFig3Quadrangle(b *testing.B) {
+	// Figure 3 (linear axis): the full policy comparison at the crossover
+	// region loads.
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.QuadrangleFigure([]float64{85, 90, 95}, 0, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4QuadrangleLowLoad(b *testing.B) {
+	// Figure 4 (log axis) emphasizes the low-load regime.
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.QuadrangleFigure([]float64{65, 75}, 0, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := altroute.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Verify(1e-4, 26); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6NSFNet(b *testing.B) {
+	// Figure 6 (linear axis): nominal and above.
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.NSFNetFigure([]float64{10, 12}, 11, false, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7NSFNetLowLoad(b *testing.B) {
+	// Figure 7 (log axis) emphasizes loads below nominal.
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.NSFNetFigure([]float64{6, 8}, 11, false, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkH6CensusAndSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.AlternateCensus(6); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := altroute.NSFNetFigure([]float64{10}, 6, false, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LinkFailures([]float64{12}, 11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkewness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Skewness(10, 6, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinLossOptimizer(b *testing.B) {
+	g := altroute.NSFNet()
+	m, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimize.MinLossPrimaries(g, m, optimize.Options{MaxIterations: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinLossStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MinLossStudy([]float64{10}, 11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOttKrishnanSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.NSFNetFigure([]float64{12}, 11, true, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMitraGibbens(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.MitraGibbens(experiments.MitraGibbensOptions{
+			Loads: []float64{115},
+			MaxR:  6,
+			Sim:   altroute.SimParams{Seeds: 1, Warmup: 5, Horizon: 25},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCellular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Cellular([]float64{48}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Robustness([]float64{10}, 11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Signaling([]float64{0, 0.01}, 11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErlangBoundNSFNet(b *testing.B) {
+	g := altroute.NSFNet()
+	m, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.ErlangBound(g, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ---
+
+func BenchmarkErlangB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		altroute.ErlangB(87.3, 100)
+	}
+}
+
+func BenchmarkProtectionLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		altroute.ProtectionLevel(87.3, 100, 11)
+	}
+}
+
+func BenchmarkTraceGenerationNSFNet(b *testing.B) {
+	m, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := altroute.GenerateTrace(m, 110, int64(i))
+		if len(tr.Calls) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkRouteTableBuildNSFNet(b *testing.B) {
+	g := altroute.NSFNet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.BuildRouteTable(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyNSFNet measures one nominal-load simulation run per policy
+// (an ablation of per-call routing cost).
+func BenchmarkPolicyNSFNet(b *testing.B) {
+	g := altroute.NSFNet()
+	m, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{H: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ok, err := scheme.OttKrishnan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := altroute.GenerateTrace(m, 40, 1)
+	for _, pol := range []altroute.Policy{
+		scheme.SinglePath(), scheme.Uncontrolled(), scheme.Controlled(), ok,
+	} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := altroute.Run(altroute.RunConfig{
+					Graph: g, Policy: pol, Trace: tr, Warmup: 5,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationProtectionLevel compares blocking across uniform
+// protection levels around the Equation-15 choice on the quadrangle at 95 E,
+// reporting blocked calls as a custom metric (lower is better).
+func BenchmarkAblationProtectionLevel(b *testing.B) {
+	g := altroute.Quadrangle()
+	load := 95.0
+	m := altroute.UniformMatrix(4, load)
+	tbl, err := altroute.BuildRouteTable(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eq15 := altroute.ProtectionLevel(load, 100, 3)
+	for _, r := range []int{0, eq15 / 2, eq15, eq15 * 2, 100} {
+		rs := make([]int, g.NumLinks())
+		for i := range rs {
+			rs[i] = r
+		}
+		pol := altroute.NewControlledPolicy(tbl, rs)
+		b.Run(benchName("r", r), func(b *testing.B) {
+			var blocked, offered int64
+			for i := 0; i < b.N; i++ {
+				tr := altroute.GenerateTrace(m, 40, int64(i))
+				res, err := altroute.Run(altroute.RunConfig{Graph: g, Policy: pol, Trace: tr, Warmup: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocked += res.Blocked
+				offered += res.Offered
+			}
+			b.ReportMetric(float64(blocked)/float64(offered), "blocking")
+		})
+	}
+}
+
+// BenchmarkAblationH compares the H design parameter on NSFNet at nominal.
+func BenchmarkAblationH(b *testing.B) {
+	g := altroute.NSFNet()
+	m, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range []int{2, 4, 6, 11} {
+		scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{H: h})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol := scheme.Controlled()
+		b.Run(benchName("H", h), func(b *testing.B) {
+			var blocked, offered int64
+			for i := 0; i < b.N; i++ {
+				tr := altroute.GenerateTrace(m, 40, int64(i))
+				res, err := altroute.Run(altroute.RunConfig{Graph: g, Policy: pol, Trace: tr, Warmup: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocked += res.Blocked
+				offered += res.Offered
+			}
+			b.ReportMetric(float64(blocked)/float64(offered), "blocking")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}
+
+func BenchmarkMultiRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MultiRate([]float64{90}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FixedPointStudy([]float64{10}, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverflowRuleAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.OverflowRuleStudy([]float64{12}, 11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRampRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RampRobustness(benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHVariantsAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HVariants([]float64{10}, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFocusedOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FocusedOverload([]float64{6}, 11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneralMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GeneralMesh(3, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeakedness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Peakedness(10, 11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrials(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Retrials([]float64{0.5}, 11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Insensitivity(11, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of supporting algorithms ---
+
+func BenchmarkSuurballeDisjointPairNSFNet(b *testing.B) {
+	g := altroute.NSFNet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := paths.DisjointPair(g, 0, 7); !ok {
+			b.Fatal("no disjoint pair")
+		}
+	}
+}
+
+func BenchmarkKaufmanRoberts(b *testing.B) {
+	classes := []altroute.ClassLoad{
+		{Erlangs: 60, Bandwidth: 1},
+		{Erlangs: 5, Bandwidth: 6},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.KaufmanRoberts(classes, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactTriangleSolve(b *testing.B) {
+	g := altroute.CompleteGraph(3, 2)
+	var demands []exact.Demand
+	for o := altroute.NodeID(0); o < 3; o++ {
+		for d := altroute.NodeID(0); d < 3; d++ {
+			if o == d {
+				continue
+			}
+			prim, _ := paths.MinHop(g, o, d)
+			alts := paths.Alternates(g, o, d, prim, 2)
+			demands = append(demands, exact.Demand{Origin: o, Dest: d, Rate: 2, Routes: []paths.Path{prim, alts[0]}})
+		}
+	}
+	model := exact.Model{Graph: g, Demands: demands, Admit: func(int, paths.Path, []int) bool { return true }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.Solve(model, 0, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDalfarConvergence(b *testing.B) {
+	g := altroute.NSFNet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dalfar.Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package altroute
+
+import (
+	"repro/internal/cellular"
+)
+
+// Channel borrowing in cellular telephony, the paper's §3.2 application of
+// state protection to a Multiple Service/Multiple Resource model.
+type (
+	// CellularConfig parameterizes the cellular ring model.
+	CellularConfig = cellular.Config
+	// CellularMode selects the borrowing discipline.
+	CellularMode = cellular.Mode
+	// CellularResult reports one cellular run.
+	CellularResult = cellular.Result
+)
+
+// Borrowing disciplines.
+const (
+	// NoBorrowing blocks calls when their own cell is full.
+	NoBorrowing = cellular.NoBorrowing
+	// UncontrolledBorrowing borrows whenever a neighbour's borrow set has
+	// idle channels.
+	UncontrolledBorrowing = cellular.UncontrolledBorrowing
+	// ControlledBorrowing borrows only below the Equation-15 protection
+	// threshold with H equal to the co-cell set size.
+	ControlledBorrowing = cellular.ControlledBorrowing
+)
+
+// RunCellular simulates one borrowing discipline.
+func RunCellular(cfg CellularConfig, mode CellularMode) (*CellularResult, error) {
+	return cellular.Run(cfg, mode)
+}
+
+// CompareCellular runs all three disciplines on identical arrivals.
+func CompareCellular(cfg CellularConfig) (map[CellularMode]*CellularResult, error) {
+	return cellular.Compare(cfg)
+}

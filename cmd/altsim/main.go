@@ -1,0 +1,475 @@
+// Command altsim regenerates the tables and figures of Sibal & DeSimone,
+// "Controlling Alternate Routing in General-Mesh Packet Flow Networks"
+// (SIGCOMM 1994), plus the extension studies of this reproduction.
+//
+// Usage:
+//
+//	altsim <experiment> [flags]
+//
+// Experiments:
+//
+//	fig2          Figure 2: protection level r vs primary load Λ
+//	quad          Figures 3/4: quadrangle blocking vs offered load
+//	table1        Table 1: NSFNet loads and protection levels
+//	nsfnet        Figures 6/7: NSFNet blocking vs load (H=11)
+//	h6            §4.2.2: H=6 sweep and alternate-path census
+//	failures      §4: link-failure scenarios (2↔3, 7↔9)
+//	skew          §4: per-O-D-pair blocking fairness (H=6)
+//	minloss       §4: min-loss vs min-hop primary selection
+//	ottkrishnan   §4.2.2: NSFNet sweep including the Ott–Krishnan comparator
+//	mitragibbens  §3.2: Equation-15 r vs simulated-optimal r (C=120, H=2)
+//	cellular      §3.2: channel borrowing with state protection
+//	robust        extension: online Λ estimation vs a-priori Λ
+//	signaling     extension: two-phase call set-up latency study
+//	multirate     extension: voice+video classes (Kaufman–Roberts protection)
+//	fixedpoint    extension: Erlang fixed-point vs simulated single-path
+//	overflow      ablation: shortest-first vs least-busy alternate selection
+//	ramp          extension: nonstationary (ramp/diurnal) robustness
+//	dalfar        extension: distributed route computation (ref. [14])
+//	hvariants     extension: global-H vs per-link H^k vs tiered protection
+//	focused       extension: focused overload on one O-D pair
+//	peakedness    extension: assumption-A1 study (overflow arrival dispersion)
+//	generalize    extension: guarantee check across random meshes
+//	retrials      extension: customer retrials (assumption-A2 stress)
+//	insensitivity extension: holding-time distribution sensitivity
+//	capacity      extension: headroom search at a 1% grade of service
+//	custom        run the three-policy comparison on a -scenario JSON file
+//	export-scenario  dump the NSFNet scenario as JSON (template for custom)
+//	dot           Graphviz DOT of the NSFNet model (or a -scenario file)
+//	verify        fast self-check of the headline reproduction claims
+//	report        markdown reproduction report to stdout
+//	bound         Erlang bound values for both paper networks
+//	all           run everything above with the paper's settings
+//
+// Common flags: -seeds, -warmup, -horizon, -loads, -H.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bound"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netio"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seeds := fs.Int("seeds", 10, "simulation seeds per point")
+	warmup := fs.Float64("warmup", 10, "warm-up period (holding times)")
+	horizon := fs.Float64("horizon", 110, "run horizon (holding times)")
+	loadsFlag := fs.String("loads", "", "comma-separated sweep loads (default: experiment grid)")
+	hFlag := fs.Int("H", 0, "maximum alternate hop length (0 = experiment default)")
+	csvPath := fs.String("csv", "", "also write sweep data as CSV to this file (quad/nsfnet/h6/ottkrishnan)")
+	scenario := fs.String("scenario", "", "scenario JSON file (custom)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	p := experiments.SimParams{Seeds: *seeds, Warmup: *warmup, Horizon: *horizon}
+	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	emit := func(sweep *experiments.Sweep) {
+		fmt.Print(sweep)
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sweep.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "altsim: wrote %s\n", *csvPath)
+		}
+	}
+
+	switch cmd {
+	case "fig2":
+		fmt.Print(experiments.Fig2(0, nil))
+	case "quad":
+		emit(must(experiments.Quadrangle(loads, *hFlag, p)))
+	case "table1":
+		fmt.Print(must(experiments.Table1()))
+	case "nsfnet":
+		emit(must(experiments.NSFNetSweep(loads, pick(*hFlag, 11), false, p)))
+	case "h6":
+		for _, h := range []int{11, 6} {
+			fmt.Println(must(experiments.CensusNSFNet(h)))
+		}
+		emit(must(experiments.NSFNetSweep(loads, 6, false, p)))
+	case "failures":
+		for _, fr := range must(experiments.LinkFailures(loads, pick(*hFlag, 11), p)) {
+			fmt.Print(fr.Sweep)
+			fmt.Println()
+		}
+	case "skew":
+		fmt.Print(must(experiments.Skewness(10, pick(*hFlag, 6), p)))
+	case "minloss":
+		fmt.Print(experiments.RenderMinLoss(must(experiments.MinLossStudy(loads, pick(*hFlag, 11), p))))
+	case "ottkrishnan":
+		emit(must(experiments.NSFNetSweep(loads, pick(*hFlag, 11), true, p)))
+	case "mitragibbens":
+		rows := must(experiments.MitraGibbens(experiments.MitraGibbensOptions{Loads: loads, Sim: p}))
+		fmt.Print(experiments.RenderMitraGibbens(rows))
+	case "cellular":
+		fmt.Print(experiments.RenderCellular(must(experiments.Cellular(loads, *seeds))))
+	case "robust":
+		fmt.Print(experiments.RenderRobustness(must(experiments.Robustness(loads, pick(*hFlag, 11), p))))
+	case "signaling":
+		fmt.Print(experiments.RenderSignaling(must(experiments.Signaling(nil, pick(*hFlag, 11), p))))
+	case "multirate":
+		fmt.Print(experiments.RenderMultiRate(must(experiments.MultiRate(loads, *seeds))))
+	case "fixedpoint":
+		fmt.Print(experiments.RenderFixedPoint(must(experiments.FixedPointStudy(loads, p))))
+	case "overflow":
+		fmt.Print(experiments.RenderOverflowRule(must(experiments.OverflowRuleStudy(loads, pick(*hFlag, 11), p))))
+	case "ramp":
+		fmt.Print(experiments.RenderRamp(must(experiments.RampRobustness(p))))
+	case "dalfar":
+		fmt.Print(must(experiments.Dalfar()))
+	case "hvariants":
+		fmt.Print(experiments.RenderHVariants(must(experiments.HVariants(loads, p))))
+	case "capacity":
+		g := netmodel.NSFNet()
+		nominal, _, err := traffic.NSFNetNominal()
+		if err != nil {
+			fatal(err)
+		}
+		res := must(experiments.CapacityHeadroom(g, nominal, pick(*hFlag, 11), 0.01, p))
+		fmt.Print(experiments.RenderCapacity(0.01, res))
+	case "insensitivity":
+		fmt.Print(experiments.RenderInsensitivity(must(experiments.Insensitivity(pick(*hFlag, 11), p))))
+	case "retrials":
+		fmt.Print(experiments.RenderRetrials(must(experiments.Retrials(nil, pick(*hFlag, 11), p))))
+	case "generalize":
+		fmt.Print(experiments.RenderGeneralMesh(must(experiments.GeneralMesh(10, p))))
+	case "peakedness":
+		fmt.Print(must(experiments.Peakedness(10, pick(*hFlag, 11), p)))
+	case "focused":
+		fmt.Print(experiments.RenderFocused(must(experiments.FocusedOverload(loads, pick(*hFlag, 11), p))))
+	case "custom":
+		runCustom(*scenario, *hFlag, p)
+	case "export-scenario":
+		exportScenario()
+	case "dot":
+		g := netmodel.NSFNet()
+		if *scenario != "" {
+			f, err := os.Open(*scenario)
+			if err != nil {
+				fatal(err)
+			}
+			scen, err := netio.Read(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if g, _, err = scen.Build(); err != nil {
+				fatal(err)
+			}
+		}
+		if err := g.WriteDOT(os.Stdout, "", true); err != nil {
+			fatal(err)
+		}
+	case "verify":
+		runVerify(p)
+	case "report":
+		if err := experiments.WriteReport(os.Stdout, experiments.ReportOptions{
+			Sim: p, IncludeExtensions: true, Timestamp: time.Now(),
+		}); err != nil {
+			fatal(err)
+		}
+	case "bound":
+		printBounds()
+	case "all":
+		runAll(p)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runAll(p experiments.SimParams) {
+	fmt.Print(experiments.Fig2(0, nil))
+	fmt.Println()
+	fmt.Print(must(experiments.Quadrangle(nil, 0, p)))
+	fmt.Println()
+	fmt.Print(must(experiments.Table1()))
+	fmt.Println()
+	for _, h := range []int{11, 6} {
+		fmt.Println(must(experiments.CensusNSFNet(h)))
+	}
+	fmt.Print(must(experiments.NSFNetSweep(nil, 11, true, p)))
+	fmt.Println()
+	fmt.Print(must(experiments.NSFNetSweep(nil, 6, false, p)))
+	fmt.Println()
+	for _, fr := range must(experiments.LinkFailures(nil, 11, p)) {
+		fmt.Print(fr.Sweep)
+		fmt.Println()
+	}
+	fmt.Print(must(experiments.Skewness(10, 6, p)))
+	fmt.Println()
+	fmt.Print(experiments.RenderMinLoss(must(experiments.MinLossStudy(nil, 11, p))))
+	fmt.Println()
+	fmt.Print(experiments.RenderMitraGibbens(must(experiments.MitraGibbens(experiments.MitraGibbensOptions{Sim: p}))))
+	fmt.Println()
+	fmt.Print(experiments.RenderCellular(must(experiments.Cellular(nil, p.Seeds))))
+	fmt.Println()
+	fmt.Print(experiments.RenderRobustness(must(experiments.Robustness(nil, 11, p))))
+	fmt.Println()
+	fmt.Print(experiments.RenderSignaling(must(experiments.Signaling(nil, 11, p))))
+	fmt.Println()
+	fmt.Print(experiments.RenderMultiRate(must(experiments.MultiRate(nil, p.Seeds))))
+	fmt.Println()
+	fmt.Print(experiments.RenderFixedPoint(must(experiments.FixedPointStudy(nil, p))))
+	fmt.Println()
+	fmt.Print(experiments.RenderOverflowRule(must(experiments.OverflowRuleStudy(nil, 11, p))))
+	fmt.Println()
+	fmt.Print(experiments.RenderRamp(must(experiments.RampRobustness(p))))
+	fmt.Println()
+	fmt.Print(must(experiments.Dalfar()))
+	fmt.Println()
+	fmt.Print(experiments.RenderHVariants(must(experiments.HVariants(nil, p))))
+	fmt.Println()
+	fmt.Print(experiments.RenderFocused(must(experiments.FocusedOverload(nil, 11, p))))
+	fmt.Println()
+	fmt.Print(must(experiments.Peakedness(10, 11, p)))
+	fmt.Println()
+	fmt.Print(experiments.RenderGeneralMesh(must(experiments.GeneralMesh(10, p))))
+	fmt.Println()
+	fmt.Print(experiments.RenderRetrials(must(experiments.Retrials(nil, 11, p))))
+	fmt.Println()
+	fmt.Print(experiments.RenderInsensitivity(must(experiments.Insensitivity(11, p))))
+	fmt.Println()
+	printBounds()
+}
+
+func printBounds() {
+	fmt.Println("Erlang bounds")
+	qg := netmodel.Quadrangle()
+	for _, rho := range []float64{80, 90, 100, 110} {
+		res, err := bound.ErlangBound(qg, traffic.Uniform(4, rho))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  quadrangle %4.0f E/pair: %.5f\n", rho, res.Blocking)
+	}
+	nominal, _, err := traffic.NSFNetNominal()
+	if err != nil {
+		fatal(err)
+	}
+	ng := netmodel.NSFNet()
+	for _, load := range []float64{8, 10, 12, 14, 16} {
+		res, err := bound.ErlangBound(ng, nominal.Scaled(load/10))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  nsfnet load %4.0f: %.5f (cut mask %b)\n", load, res.Blocking, res.Cut.Mask)
+	}
+}
+
+func parseLoads(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func pick(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "altsim:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: altsim <experiment> [flags]
+experiments: fig2 quad table1 nsfnet h6 failures skew minloss ottkrishnan
+             mitragibbens cellular robust signaling multirate fixedpoint
+             overflow ramp dalfar hvariants focused peakedness generalize
+             retrials insensitivity capacity custom export-scenario dot
+             verify report bound all
+flags: -seeds N -warmup T -horizon T -loads a,b,c -H n -csv file`)
+}
+
+// runCustom executes the single-path / uncontrolled / controlled comparison
+// on a user-supplied scenario file.
+func runCustom(path string, h int, p experiments.SimParams) {
+	if path == "" {
+		fatal(fmt.Errorf("custom requires -scenario file.json (see export-scenario for a template)"))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	scen, err := netio.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	g, m, err := scen.Build()
+	if err != nil {
+		fatal(err)
+	}
+	if h == 0 {
+		h = scen.H
+	}
+	scheme, err := core.New(g, m, core.Options{H: h})
+	if err != nil {
+		fatal(err)
+	}
+	if p.Seeds <= 0 {
+		p.Seeds = 10
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = 10
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = p.Warmup + 100
+	}
+	fmt.Printf("scenario %q: %d nodes, %d links, %.1f Erlangs offered, H=%d\n",
+		scen.Name, g.NumNodes(), g.NumLinks(), m.Total(), scheme.H)
+	fmt.Printf("%-24s %12s %12s\n", "policy", "blocking", "±95%")
+	for _, pol := range []sim.Policy{scheme.SinglePath(), scheme.Uncontrolled(), scheme.Controlled()} {
+		var xs []float64
+		for seed := 0; seed < p.Seeds; seed++ {
+			tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
+			res, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup})
+			if err != nil {
+				fatal(err)
+			}
+			xs = append(xs, res.Blocking())
+		}
+		sum := stats.Summarize(xs)
+		fmt.Printf("%-24s %12.5f %12.5f\n", pol.Name(), sum.Mean, sum.HalfWidth95)
+	}
+	if eb, err := bound.ErlangBound(g, m); err == nil {
+		fmt.Printf("%-24s %12.5f\n", "erlang-bound", eb.Blocking)
+	}
+}
+
+// exportScenario writes the NSFNet scenario (reconstructed nominal traffic)
+// to stdout as a template for custom runs.
+func exportScenario() {
+	g := netmodel.NSFNet()
+	nominal, _, err := traffic.NSFNetNominal()
+	if err != nil {
+		fatal(err)
+	}
+	scen, err := netio.FromNetwork("nsfnet-t3-nominal", g, nominal, 11)
+	if err != nil {
+		fatal(err)
+	}
+	if err := scen.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// runVerify executes a fast end-to-end self-check of the reproduction's
+// headline claims and exits nonzero on any failure — the CI entry point.
+func runVerify(p experiments.SimParams) {
+	failures := 0
+	check := func(name string, ok bool, detail string) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%-52s %s  %s\n", name, status, detail)
+	}
+
+	tbl, err := experiments.Table1()
+	if err != nil {
+		fatal(err)
+	}
+	check("Table 1: fitted loads match published Λ",
+		tbl.MaxLoadError < 1e-4, fmt.Sprintf("max |ΔΛ| = %.2g", tbl.MaxLoadError))
+	check("Table 1: protection levels (H=11)",
+		tbl.ExactR11 == 30, fmt.Sprintf("%d/30 exact", tbl.ExactR11))
+	check("Table 1: protection levels (H=6)",
+		tbl.ExactR6 >= 26, fmt.Sprintf("%d/30 exact (rest on rounding steps)", tbl.ExactR6))
+
+	census, err := experiments.CensusNSFNet(11)
+	if err != nil {
+		fatal(err)
+	}
+	check("§4.2.2 path census (H=11: ≈9 mean, 5 min, 15 max)",
+		census.MinAlternates == 5 && census.MaxAlternates == 15 &&
+			census.MeanAlternates > 8 && census.MeanAlternates < 10,
+		census.String())
+
+	if p.Seeds > 4 {
+		p.Seeds = 4
+	}
+	if p.Horizon > 60 {
+		p.Horizon = 60
+	}
+	sweep, err := experiments.Quadrangle([]float64{85, 100}, 0, p)
+	if err != nil {
+		fatal(err)
+	}
+	at := func(name string, x float64) float64 {
+		for _, pt := range sweep.SeriesByName(name).Points {
+			if pt.X == x {
+				return pt.Y
+			}
+		}
+		return -1
+	}
+	check("quadrangle: controlled beats both at 85 E",
+		at("controlled-alternate", 85) < at("single-path", 85) &&
+			at("controlled-alternate", 85) < at("uncontrolled-alternate", 85),
+		fmt.Sprintf("ctrl %.4f vs single %.4f, unc %.4f",
+			at("controlled-alternate", 85), at("single-path", 85), at("uncontrolled-alternate", 85)))
+	check("quadrangle: uncontrolled collapses at 100 E",
+		at("uncontrolled-alternate", 100) > at("single-path", 100),
+		fmt.Sprintf("unc %.4f vs single %.4f", at("uncontrolled-alternate", 100), at("single-path", 100)))
+	check("quadrangle: guarantee (controlled <= single + ε)",
+		at("controlled-alternate", 100) <= at("single-path", 100)+0.005,
+		fmt.Sprintf("ctrl %.4f vs single %.4f", at("controlled-alternate", 100), at("single-path", 100)))
+
+	if failures > 0 {
+		fmt.Printf("%d check(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all reproduction self-checks passed")
+}

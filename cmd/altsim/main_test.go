@@ -1,0 +1,35 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLoads(t *testing.T) {
+	got, err := parseLoads("8, 10 ,12.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{8, 10, 12.5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseLoads = %v, want %v", got, want)
+	}
+	empty, err := parseLoads("")
+	if err != nil || empty != nil {
+		t.Errorf("empty: %v %v", empty, err)
+	}
+	if _, err := parseLoads("8,x"); err == nil {
+		t.Error("bad token: want error")
+	}
+}
+
+func TestPick(t *testing.T) {
+	if pick(0, 11) != 11 || pick(6, 11) != 6 || pick(-1, 11) != 11 {
+		t.Error("pick defaults wrong")
+	}
+}
+
+func TestMustPassesValues(t *testing.T) {
+	if got := must(42, nil); got != 42 {
+		t.Errorf("must = %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+// NSFNet scenario: run the paper's §4.2 Internet experiment end to end —
+// reconstructed nominal traffic, Table-1 protection levels, and the blocking
+// comparison across a load sweep, including the Ott–Krishnan comparator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	altroute "repro"
+)
+
+func main() {
+	g := altroute.NSFNet()
+	nominal, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NSFNet T3 model: %d nodes, %d directed links, nominal offered load %.0f Erlangs\n\n",
+		g.NumNodes(), g.NumLinks(), nominal.Total())
+
+	// Reproduce Table 1 (protection levels for H=6 and H=11).
+	tbl, err := altroute.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tbl)
+	fmt.Println()
+
+	// Alternate-path census (§4.2.2).
+	census, err := altroute.AlternateCensus(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alternate-path census:", census)
+	fmt.Println()
+
+	// A short Figures-6/7 sweep (fewer seeds than the paper for speed; use
+	// cmd/altsim nsfnet for the full 10-seed version).
+	sweep, err := altroute.NSFNetFigure([]float64{8, 10, 12, 14}, 11, true,
+		altroute.SimParams{Seeds: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sweep)
+}

@@ -1,0 +1,48 @@
+package altroute
+
+import (
+	"repro/internal/experiments"
+)
+
+// Experiment harness re-exports: each entry point regenerates one table or
+// figure of the paper (see DESIGN.md's per-experiment index) and renders the
+// same rows/series the paper reports.
+type (
+	// SimParams are the common replication settings; the zero value is the
+	// paper's (10 seeds, 10-unit warm-up, 100 measured units).
+	SimParams = experiments.SimParams
+	// Sweep is a blocking-versus-load figure (one series per policy plus
+	// the Erlang bound).
+	Sweep = experiments.Sweep
+	// Fig2Result is the protection-level figure.
+	Fig2Result = experiments.Fig2Result
+	// Table1Result is the NSFNet link table with reproduction diagnostics.
+	Table1Result = experiments.Table1Result
+	// PathCensus summarizes alternate-route availability.
+	PathCensus = experiments.PathCensus
+)
+
+// Fig2 regenerates Figure 2: r versus Λ for C=100 (or any capacity) and the
+// given H values (nil = the paper's {2, 6, 120}).
+func Fig2(capacity int, hs []int) *Fig2Result { return experiments.Fig2(capacity, hs) }
+
+// QuadrangleFigure regenerates Figures 3/4: blocking versus offered load on
+// the fully-connected quadrangle (nil loads = the default grid).
+func QuadrangleFigure(loads []float64, h int, p SimParams) (*Sweep, error) {
+	return experiments.Quadrangle(loads, h, p)
+}
+
+// Table1 regenerates the paper's Table 1 from the reconstructed nominal
+// matrix and reports match diagnostics.
+func Table1() (*Table1Result, error) { return experiments.Table1() }
+
+// NSFNetFigure regenerates Figures 6/7: blocking versus load on the NSFNet
+// model (h=11 for the paper's unlimited alternates; includeOttKrishnan adds
+// the §4.2.2 comparator).
+func NSFNetFigure(loads []float64, h int, includeOttKrishnan bool, p SimParams) (*Sweep, error) {
+	return experiments.NSFNetSweep(loads, h, includeOttKrishnan, p)
+}
+
+// AlternateCensus reports the NSFNet alternate-path availability for a hop
+// limit (the §4.2.2 census).
+func AlternateCensus(h int) (*PathCensus, error) { return experiments.CensusNSFNet(h) }

@@ -1,0 +1,232 @@
+package altroute_test
+
+import (
+	"strings"
+	"testing"
+
+	altroute "repro"
+)
+
+func TestFacadeTopologies(t *testing.T) {
+	g := altroute.NewGraph()
+	if g.NumNodes() != 0 {
+		t.Error("NewGraph not empty")
+	}
+	k6 := altroute.CompleteGraph(6, 25)
+	if k6.NumLinks() != 30 {
+		t.Errorf("K6 links = %d", k6.NumLinks())
+	}
+	if !k6.Connected() {
+		t.Error("K6 disconnected")
+	}
+	m := altroute.NewMatrix(6)
+	m.SetDemand(0, 1, 4)
+	if m.Total() != 4 {
+		t.Errorf("Total = %v", m.Total())
+	}
+}
+
+func TestFacadeFig2AndCensus(t *testing.T) {
+	fig := altroute.Fig2(50, []int{2, 5})
+	if fig.Capacity != 50 || len(fig.Curves) != 2 {
+		t.Errorf("Fig2 shape %d/%d", fig.Capacity, len(fig.Curves))
+	}
+	if !strings.Contains(fig.String(), "Figure 2") {
+		t.Error("Fig2 render malformed")
+	}
+	census, err := altroute.AlternateCensus(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.Pairs != 132 {
+		t.Errorf("census pairs %d", census.Pairs)
+	}
+}
+
+func TestFacadeQuadrangleFigure(t *testing.T) {
+	sweep, err := altroute.QuadrangleFigure([]float64{85}, 0, altroute.SimParams{Seeds: 1, Warmup: 5, Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.SeriesByName("controlled-alternate") == nil {
+		t.Error("missing controlled series")
+	}
+	var csv strings.Builder
+	if err := sweep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "x,") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestFacadeCellular(t *testing.T) {
+	results, err := altroute.CompareCellular(altroute.CellularConfig{Load: 45, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("modes = %d", len(results))
+	}
+	for _, mode := range []altroute.CellularMode{
+		altroute.NoBorrowing, altroute.UncontrolledBorrowing, altroute.ControlledBorrowing,
+	} {
+		res, ok := results[mode]
+		if !ok || res.Offered == 0 {
+			t.Errorf("mode %v missing or empty", mode)
+		}
+	}
+	single, err := altroute.RunCellular(altroute.CellularConfig{Load: 45, Seed: 1}, altroute.NoBorrowing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Blocked != results[altroute.NoBorrowing].Blocked {
+		t.Error("RunCellular disagrees with CompareCellular on identical arrivals")
+	}
+}
+
+func TestFacadeScenarioRoundTrip(t *testing.T) {
+	g := altroute.Quadrangle()
+	m := altroute.UniformMatrix(4, 50)
+	scen, err := altroute.ScenarioFromNetwork("quad", g, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := scen.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := altroute.ReadScenario(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, m2, err := back.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumLinks() != 12 || m2.Total() != 600 {
+		t.Errorf("round trip: %d links, %v Erlangs", g2.NumLinks(), m2.Total())
+	}
+	// The rebuilt network drives the full pipeline.
+	scheme, err := altroute.NewScheme(g2, m2, altroute.SchemeOptions{H: back.H})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme.H != 3 {
+		t.Errorf("H = %d", scheme.H)
+	}
+}
+
+func TestFacadeControlledPolicyAndRouteTable(t *testing.T) {
+	g := altroute.Quadrangle()
+	tbl, err := altroute.BuildRouteTable(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MaxHops() != 2 {
+		t.Errorf("MaxHops = %d", tbl.MaxHops())
+	}
+	rs := make([]int, g.NumLinks())
+	for i := range rs {
+		rs[i] = 5
+	}
+	pol := altroute.NewControlledPolicy(tbl, rs)
+	if pol.Name() != "controlled-alternate" {
+		t.Errorf("Name = %q", pol.Name())
+	}
+	m := altroute.UniformMatrix(4, 70)
+	tr := altroute.GenerateTrace(m, 20, 2)
+	res, err := altroute.Run(altroute.RunConfig{Graph: g, Policy: pol, Trace: tr, Warmup: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Error("no traffic")
+	}
+}
+
+func TestFacadeNSFNetFigureWithOttKrishnan(t *testing.T) {
+	sweep, err := altroute.NSFNetFigure([]float64{10}, 11, true, altroute.SimParams{Seeds: 1, Warmup: 5, Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.SeriesByName("ott-krishnan") == nil {
+		t.Error("missing Ott–Krishnan series")
+	}
+	var j strings.Builder
+	if err := sweep.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), "ott-krishnan") {
+		t.Error("JSON export missing series")
+	}
+}
+
+func TestFacadeMultiRate(t *testing.T) {
+	g := altroute.Quadrangle()
+	tbl, err := altroute.BuildRouteTable(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []altroute.CallClass{
+		{Name: "voice", Bandwidth: 1, Demand: altroute.UniformMatrix(4, 40)},
+		{Name: "video", Bandwidth: 6, Demand: altroute.UniformMatrix(4, 5)},
+	}
+	prot, err := altroute.DeriveMultiRateProtection(g, tbl, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := altroute.GenerateMultiRateTrace(classes, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := altroute.RunMultiRate(altroute.MultiRateConfig{
+		Graph: g, Table: tbl, Discipline: altroute.MultiRateControlled,
+		Protection: prot, Trace: tr, Warmup: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Offered != res.Accepted+res.Blocked {
+		t.Fatalf("accounting: %+v", res)
+	}
+	// Analytic helpers.
+	bs, err := altroute.KaufmanRoberts([]altroute.ClassLoad{
+		{Erlangs: 40, Bandwidth: 1}, {Erlangs: 5, Bandwidth: 6},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || bs[1] <= bs[0] {
+		t.Errorf("video should block more than voice: %v", bs)
+	}
+	r, err := altroute.MultiRateProtectionLevel([]altroute.ClassLoad{
+		{Erlangs: 70, Bandwidth: 1},
+	}, 100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != altroute.ProtectionLevel(70, 100, 6) {
+		t.Errorf("single-class multi-rate r=%d disagrees with Equation 15", r)
+	}
+}
+
+func TestFacadeFixedPoint(t *testing.T) {
+	g := altroute.Quadrangle()
+	m := altroute.UniformMatrix(4, 90)
+	tbl, err := altroute.BuildRouteTable(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, perLink, err := altroute.SolveFixedPoint(g, m, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := altroute.ErlangB(90, 100)
+	if network < want*0.99 || network > want*1.01 {
+		t.Errorf("fixed point %v, want ≈%v", network, want)
+	}
+	if len(perLink) != g.NumLinks() {
+		t.Errorf("perLink length %d", len(perLink))
+	}
+}

@@ -1,0 +1,112 @@
+package bound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/traffic"
+)
+
+func TestErlangBoundTwoNodes(t *testing.T) {
+	// Two nodes, one duplex link: the only cut isolates them, so the bound
+	// is the exact Erlang-B blocking of each direction weighted by share.
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if _, _, err := g.AddDuplex(a, b, 10); err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewMatrix(2)
+	m.SetDemand(0, 1, 8)
+	m.SetDemand(1, 0, 2)
+	res, err := ErlangBound(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.8*erlang.B(8, 10) + 0.2*erlang.B(2, 10)
+	if math.Abs(res.Blocking-want) > 1e-12 {
+		t.Errorf("bound %v, want %v", res.Blocking, want)
+	}
+	if res.ForwardCapacity != 10 || res.BackwardCapacity != 10 {
+		t.Errorf("capacities %d/%d", res.ForwardCapacity, res.BackwardCapacity)
+	}
+}
+
+func TestErlangBoundQuadrangleSymmetric(t *testing.T) {
+	// Symmetric quadrangle at per-pair load ρ: by symmetry, single-node cuts
+	// see 3ρ offered against 3 crossing links (300 capacity) each way;
+	// two-node cuts see 4ρ against 4 crossing links (400 capacity). The
+	// bound is the max of the two candidates.
+	g := netmodel.Quadrangle()
+	for _, rho := range []float64{70, 90, 110} {
+		m := traffic.Uniform(4, rho)
+		res, err := ErlangBound(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneNode := (3 * rho) / (12 * rho) * erlang.B(3*rho, 300) * 2
+		twoNode := (4 * rho) / (12 * rho) * erlang.B(4*rho, 400) * 2
+		want := math.Max(oneNode, twoNode)
+		if math.Abs(res.Blocking-want) > 1e-12 {
+			t.Errorf("ρ=%v: bound %v, want %v", rho, res.Blocking, want)
+		}
+	}
+}
+
+func TestErlangBoundBelowSimulatedBlocking(t *testing.T) {
+	// The bound must not exceed the best simulated blocking; cheap sanity
+	// at a load where the quadrangle blocks noticeably.
+	g := netmodel.Quadrangle()
+	m := traffic.Uniform(4, 100)
+	res, err := ErlangBound(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the §4.1 reproduction, controlled blocking at 100 E ≈ 0.076.
+	if res.Blocking <= 0 || res.Blocking > 0.076 {
+		t.Errorf("bound %v outside (0, 0.076]", res.Blocking)
+	}
+}
+
+func TestErlangBoundNSFNetPositiveAtNominal(t *testing.T) {
+	// Several NSFNet links are overloaded at nominal (Λ up to 167 on
+	// C=100), so the bound must be clearly positive.
+	g := netmodel.NSFNet()
+	m, _, err := traffic.NSFNetNominal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ErlangBound(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocking < 0.01 {
+		t.Errorf("nominal NSFNet bound %v, want >= 1%%", res.Blocking)
+	}
+	// Scaling the load up increases the bound.
+	res2, err := ErlangBound(g, m.Scaled(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Blocking <= res.Blocking {
+		t.Errorf("bound not increasing in load: %v vs %v", res2.Blocking, res.Blocking)
+	}
+}
+
+func TestErlangBoundErrors(t *testing.T) {
+	g := netmodel.Quadrangle()
+	if _, err := ErlangBound(g, traffic.NewMatrix(3)); err == nil {
+		t.Error("size mismatch: want error")
+	}
+	if _, err := ErlangBound(g, traffic.NewMatrix(4)); err == nil {
+		t.Error("zero traffic: want error")
+	}
+	big := graph.New()
+	big.AddNodes(31)
+	if _, err := ErlangBound(big, traffic.NewMatrix(31)); err == nil {
+		t.Error("oversized graph: want error")
+	}
+}

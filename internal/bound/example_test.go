@@ -1,0 +1,27 @@
+package bound_test
+
+import (
+	"fmt"
+
+	"repro/internal/bound"
+	"repro/internal/netmodel"
+	"repro/internal/traffic"
+)
+
+// The Erlang Bound on the NSFNet model at nominal load: the maximizing cut
+// separates nodes {0..5, 11} from {6..10}, crossed only by the 5↔6 and
+// 10↔11 facilities (200 capacity units each way) — the bottleneck the
+// overloaded 10→11 row of Table 1 already hints at.
+func ExampleErlangBound() {
+	m, _, err := traffic.NSFNetNominal()
+	if err != nil {
+		panic(err)
+	}
+	res, err := bound.ErlangBound(netmodel.NSFNet(), m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lower bound %.4f (cut capacity %d each way)\n", res.Blocking, res.ForwardCapacity)
+	// Output:
+	// lower bound 0.1249 (cut capacity 200 each way)
+}

@@ -1,0 +1,301 @@
+// Package cellular applies the paper's state-protection control to Channel
+// Borrowing in cellular telephony, the Multiple Service/Multiple Resource
+// example of §3.2: a call arriving at a cell with no idle channel may borrow
+// a channel from a neighbouring cell, but the borrowed channel is then
+// locked in the co-cells of the borrowing cell, so one borrowed call
+// consumes channel resources in a co-cell set of (typically) 3 cells. By
+// protecting each cell with the r corresponding to H=3, borrowing is
+// guaranteed — under the Poisson assumptions — to improve on the
+// no-borrowing baseline.
+//
+// The model: cells are arranged in a ring with wrap-around neighbourhoods.
+// A native call consumes one channel in its own cell. A borrowed call from
+// cell c taking a channel of neighbour b consumes one channel in b and locks
+// one channel in each other cell of b's co-cell set that neighbours c —
+// modelled as consuming one channel in each of the coCellSize cells
+// {b, and the next coCellSize−1 cells around the ring from b, skipping c}.
+package cellular
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/erlang"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes the cellular simulation.
+type Config struct {
+	// Cells is the number of cells in the ring (>= 2·CoCellSize to keep
+	// borrow sets well defined; default 12).
+	Cells int
+	// Channels per cell (the paper suggests C ≈ 50; default 50).
+	Channels int
+	// CoCellSize is the size of a co-cell set (paper: 3; it doubles as the
+	// H used for the protection level).
+	CoCellSize int
+	// Load is the offered Erlangs per cell.
+	Load float64
+	// Loads, when non-nil, overrides Load with an explicit per-cell offered
+	// load (length Cells) — e.g. a hotspot pattern where a few cells run
+	// above capacity while their neighbours idle.
+	Loads []float64
+	// Horizon and Warmup in mean holding times (defaults 110 and 10).
+	Horizon, Warmup float64
+	// Seed drives arrivals and holding times.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cells <= 0 {
+		c.Cells = 12
+	}
+	if c.Channels <= 0 {
+		c.Channels = 50
+	}
+	if c.CoCellSize <= 0 {
+		c.CoCellSize = 3
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 110
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 10
+	}
+	return c
+}
+
+// Mode selects the borrowing discipline.
+type Mode int
+
+// Borrowing disciplines compared by the experiment.
+const (
+	// NoBorrowing blocks a call when its own cell is full.
+	NoBorrowing Mode = iota
+	// UncontrolledBorrowing borrows whenever any neighbour's borrow set has
+	// idle channels.
+	UncontrolledBorrowing
+	// ControlledBorrowing borrows only when every cell of the borrow set is
+	// below its protection threshold (r from Equation 15 with H=CoCellSize).
+	ControlledBorrowing
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case NoBorrowing:
+		return "no-borrowing"
+	case UncontrolledBorrowing:
+		return "uncontrolled-borrowing"
+	case ControlledBorrowing:
+		return "controlled-borrowing"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Result reports one run.
+type Result struct {
+	Mode              Mode
+	Offered, Accepted int64
+	Blocked           int64
+	Borrowed          int64
+	// Protection is the per-cell r used (controlled mode only).
+	Protection []int
+}
+
+// Blocking returns the blocking probability.
+func (r *Result) Blocking() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Blocked) / float64(r.Offered)
+}
+
+// cellLoad returns the offered load of cell i.
+func cellLoad(cfg Config, i int) float64 {
+	if cfg.Loads != nil {
+		return cfg.Loads[i]
+	}
+	return cfg.Load
+}
+
+// borrowSets returns, for each cell c, the candidate borrow sets: one per
+// neighbour b (the ring predecessor and successor), each consuming one
+// channel in coCellSize cells starting at b and walking away from c.
+func borrowSets(cfg Config) [][][]int {
+	n := cfg.Cells
+	k := cfg.CoCellSize
+	sets := make([][][]int, n)
+	for c := 0; c < n; c++ {
+		// Successor neighbour: walk forward; predecessor: walk backward.
+		fwd := make([]int, 0, k)
+		for j := 1; j <= k; j++ {
+			fwd = append(fwd, (c+j)%n)
+		}
+		bwd := make([]int, 0, k)
+		for j := 1; j <= k; j++ {
+			bwd = append(bwd, ((c-j)%n+n)%n)
+		}
+		sets[c] = [][]int{fwd, bwd}
+	}
+	return sets
+}
+
+// event is a scheduled call departure.
+type event struct {
+	at    float64
+	cells []int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// arrival is one offered call.
+type arrival struct {
+	at      float64
+	cell    int
+	holding float64
+}
+
+// Run simulates one mode. Arrivals are generated per cell from independent
+// substreams of cfg.Seed, so different modes see identical call sequences.
+func Run(cfg Config, mode Mode) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Loads != nil && len(cfg.Loads) != cfg.Cells {
+		return nil, fmt.Errorf("cellular: %d per-cell loads for %d cells", len(cfg.Loads), cfg.Cells)
+	}
+	for c := 0; c < cfg.Cells; c++ {
+		if cellLoad(cfg, c) <= 0 {
+			return nil, fmt.Errorf("cellular: cell %d load %v", c, cellLoad(cfg, c))
+		}
+	}
+	if cfg.Cells < 2*cfg.CoCellSize {
+		return nil, fmt.Errorf("cellular: %d cells too few for co-cell size %d", cfg.Cells, cfg.CoCellSize)
+	}
+	// Generate the common arrival sequence.
+	var arrivals []arrival
+	for c := 0; c < cfg.Cells; c++ {
+		r := xrand.New(cfg.Seed, int64(c))
+		rate := cellLoad(cfg, c)
+		t := 0.0
+		for {
+			t += xrand.Exp(r, 1/rate)
+			if t >= cfg.Horizon {
+				break
+			}
+			arrivals = append(arrivals, arrival{at: t, cell: c, holding: xrand.Exp(r, 1)})
+		}
+	}
+	sortArrivals(arrivals)
+
+	// Protection levels from each cell's own offered load with H=CoCellSize.
+	prot := make([]int, cfg.Cells)
+	if mode == ControlledBorrowing {
+		for c := range prot {
+			prot[c] = erlang.ProtectionLevel(cellLoad(cfg, c), cfg.Channels, cfg.CoCellSize)
+		}
+	}
+	sets := borrowSets(cfg)
+
+	occ := make([]int, cfg.Cells)
+	res := &Result{Mode: mode, Protection: append([]int(nil), prot...)}
+	deps := &eventHeap{}
+	heap.Init(deps)
+
+	admitNative := func(c int) bool { return occ[c] < cfg.Channels }
+	admitBorrow := func(set []int) bool {
+		for _, c := range set {
+			if occ[c] >= cfg.Channels {
+				return false
+			}
+			if mode == ControlledBorrowing && occ[c] > cfg.Channels-prot[c]-1 {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, a := range arrivals {
+		for deps.Len() > 0 && (*deps)[0].at <= a.at {
+			e := heap.Pop(deps).(event)
+			for _, c := range e.cells {
+				occ[c]--
+			}
+		}
+		measured := a.at >= cfg.Warmup
+		if measured {
+			res.Offered++
+		}
+		var used []int
+		if admitNative(a.cell) {
+			used = []int{a.cell}
+		} else if mode != NoBorrowing {
+			for _, set := range sets[a.cell] {
+				if admitBorrow(set) {
+					used = set
+					if measured {
+						res.Borrowed++
+					}
+					break
+				}
+			}
+		}
+		if used == nil {
+			if measured {
+				res.Blocked++
+			}
+			continue
+		}
+		for _, c := range used {
+			occ[c]++
+		}
+		heap.Push(deps, event{at: a.at + a.holding, cells: used})
+		if measured {
+			res.Accepted++
+		}
+	}
+	return res, nil
+}
+
+// sortArrivals sorts by time with deterministic tie-breaking.
+func sortArrivals(a []arrival) {
+	// Insertion of already mostly-sorted per-cell merges is fine at these
+	// sizes; use the stdlib sort for clarity.
+	sortSlice(a)
+}
+
+// Compare runs all three modes on identical arrivals and returns results
+// keyed by mode.
+func Compare(cfg Config) (map[Mode]*Result, error) {
+	out := make(map[Mode]*Result, 3)
+	for _, mode := range []Mode{NoBorrowing, UncontrolledBorrowing, ControlledBorrowing} {
+		r, err := Run(cfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		out[mode] = r
+	}
+	return out, nil
+}
+
+// sortSlice sorts arrivals by (time, cell).
+func sortSlice(a []arrival) {
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].at != a[j].at {
+			return a[i].at < a[j].at
+		}
+		return a[i].cell < a[j].cell
+	})
+}

@@ -1,0 +1,185 @@
+package cellular
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/erlang"
+)
+
+func TestModeString(t *testing.T) {
+	if NoBorrowing.String() != "no-borrowing" ||
+		UncontrolledBorrowing.String() != "uncontrolled-borrowing" ||
+		ControlledBorrowing.String() != "controlled-borrowing" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}
+
+func TestBorrowSetsShape(t *testing.T) {
+	cfg := Config{Cells: 12, CoCellSize: 3}.withDefaults()
+	sets := borrowSets(cfg)
+	if len(sets) != 12 {
+		t.Fatalf("sets for %d cells", len(sets))
+	}
+	for c, options := range sets {
+		if len(options) != 2 {
+			t.Fatalf("cell %d has %d borrow options", c, len(options))
+		}
+		for _, set := range options {
+			if len(set) != 3 {
+				t.Errorf("cell %d borrow set size %d", c, len(set))
+			}
+			for _, b := range set {
+				if b == c {
+					t.Errorf("cell %d borrows from itself", c)
+				}
+			}
+		}
+	}
+	// Cell 0 forward set is {1,2,3}, backward {11,10,9}.
+	if got := sets[0][0]; got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("forward set %v", got)
+	}
+	if got := sets[0][1]; got[0] != 11 || got[1] != 10 || got[2] != 9 {
+		t.Errorf("backward set %v", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, NoBorrowing); err == nil {
+		t.Error("zero load: want error")
+	}
+	if _, err := Run(Config{Load: 10, Cells: 4, CoCellSize: 3}, NoBorrowing); err == nil {
+		t.Error("too few cells: want error")
+	}
+	if _, err := Run(Config{Loads: []float64{1, 2}}, NoBorrowing); err == nil {
+		t.Error("wrong Loads length: want error")
+	}
+}
+
+func TestNoBorrowingMatchesErlangB(t *testing.T) {
+	// Without borrowing each cell is an independent M/M/C/C: long-run
+	// blocking must approach B(44, 50).
+	var blocked, offered int64
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Run(Config{Load: 44, Seed: seed, Horizon: 210}, NoBorrowing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked += res.Blocked
+		offered += res.Offered
+		if res.Borrowed != 0 {
+			t.Error("no-borrowing mode borrowed")
+		}
+	}
+	got := float64(blocked) / float64(offered)
+	want := erlang.B(44, 50)
+	if math.Abs(got-want) > 0.008 {
+		t.Errorf("blocking %v, want ≈%v", got, want)
+	}
+}
+
+// hotspot returns a per-cell load pattern with two opposite hot cells.
+func hotspot(cells int, hot, cold float64) []float64 {
+	loads := make([]float64, cells)
+	for i := range loads {
+		loads[i] = cold
+	}
+	loads[0] = hot
+	loads[cells/2] = hot
+	return loads
+}
+
+func TestControlledBorrowingNeverWorseThanNoBorrowing(t *testing.T) {
+	// The §3.2 guarantee, on balanced and hotspot loads.
+	for name, cfgBase := range map[string]Config{
+		"balanced": {Load: 46},
+		"hotspot":  {Loads: hotspot(12, 58, 38)},
+	} {
+		var noB, ctrlB, offered int64
+		for seed := int64(0); seed < 6; seed++ {
+			cfg := cfgBase
+			cfg.Seed = seed
+			results, err := Compare(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			noB += results[NoBorrowing].Blocked
+			ctrlB += results[ControlledBorrowing].Blocked
+			offered += results[NoBorrowing].Offered
+		}
+		slack := offered / 500
+		if ctrlB > noB+slack {
+			t.Errorf("%s: controlled borrowing blocked %d > no borrowing %d (offered %d)",
+				name, ctrlB, noB, offered)
+		}
+	}
+}
+
+func TestControlledProtectsAgainstBorrowingAvalanche(t *testing.T) {
+	// Under heavy overload, uncontrolled borrowing consumes 3 cells per
+	// borrowed call and degrades below the no-borrowing baseline; the
+	// controlled discipline must not.
+	var noB, unc, ctrl, offered int64
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := Config{Load: 60, Seed: seed}
+		results, err := Compare(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noB += results[NoBorrowing].Blocked
+		unc += results[UncontrolledBorrowing].Blocked
+		ctrl += results[ControlledBorrowing].Blocked
+		offered += results[NoBorrowing].Offered
+	}
+	if unc <= noB {
+		t.Errorf("expected uncontrolled borrowing (%d) to exceed no-borrowing (%d) at overload", unc, noB)
+	}
+	slack := offered / 500
+	if ctrl > noB+slack {
+		t.Errorf("controlled borrowing (%d) worse than no-borrowing (%d)", ctrl, noB)
+	}
+}
+
+func TestBorrowingHelpsHotspots(t *testing.T) {
+	// Two hot cells (58 E) surrounded by cold neighbours (38 E): borrowing
+	// exploits the idle neighbour capacity, so controlled borrowing must
+	// clearly beat no-borrowing.
+	var noB, ctrl, offered int64
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := Config{Loads: hotspot(12, 58, 38), Seed: seed}
+		results, err := Compare(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noB += results[NoBorrowing].Blocked
+		ctrl += results[ControlledBorrowing].Blocked
+		offered += results[NoBorrowing].Offered
+		if results[ControlledBorrowing].Borrowed == 0 {
+			t.Error("controlled mode never borrowed despite hotspots")
+		}
+	}
+	if !(float64(ctrl) < float64(noB)*0.8) {
+		t.Errorf("controlled borrowing (%d) should clearly beat no-borrowing (%d) at hotspots", ctrl, noB)
+	}
+}
+
+func TestProtectionLevelsSmallAtPaperScale(t *testing.T) {
+	// §3.2: "the value of r for H=3 will be quite small for C ≈ 50", which
+	// is what makes controlled borrowing nearly optimal there.
+	res, err := Run(Config{Load: 40, Seed: 1}, ControlledBorrowing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, r := range res.Protection {
+		if r > 6 {
+			t.Errorf("cell %d: r=%d larger than 'quite small'", c, r)
+		}
+		if r < 1 {
+			t.Errorf("cell %d: r=%d, expected some protection at 40 E", c, r)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package core assembles the paper's primary contribution: given a topology,
+// an offered-traffic matrix, and the design parameter H (maximum alternate
+// hop length), it derives everything the controlled alternate-routing scheme
+// needs — the SI primary routing, the per-link primary demands Λ^k
+// (Equation 1), the state-protection levels r^k (Equation 15) — and
+// manufactures the comparable routing policies of §4.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Scheme is a fully derived controlled-alternate-routing configuration.
+type Scheme struct {
+	// Graph is the topology the scheme was derived for.
+	Graph *graph.Graph
+	// Matrix is the offered-traffic matrix the link demands were derived
+	// from (the paper's nominal T, possibly scaled).
+	Matrix *traffic.Matrix
+	// Table is the shared route suite (primaries + ordered alternates).
+	Table *policy.Table
+	// H is the maximum alternate hop length (Equation 15 design parameter).
+	H int
+	// LinkLoads is Λ^k per link (Equation 1) under the SI primary routing.
+	LinkLoads []float64
+	// Protection is r^k per link (Equation 15).
+	Protection []int
+}
+
+// Options tunes scheme construction.
+type Options struct {
+	// H is the maximum alternate hop length; 0 means N−1 (unlimited
+	// loop-free alternates).
+	H int
+	// LoadOverride, when non-nil, supplies the Λ^k vector directly instead
+	// of deriving it from the matrix — the paper's simulations assume links
+	// know Λ^k a priori, and Table 1 publishes those values. Indexed by
+	// LinkID.
+	LoadOverride []float64
+}
+
+// New derives a Scheme for min-hop SI primary routing (the paper's
+// demonstration rule).
+func New(g *graph.Graph, m *traffic.Matrix, opts Options) (*Scheme, error) {
+	if g == nil || m == nil {
+		return nil, fmt.Errorf("core: nil graph or matrix")
+	}
+	if m.Size() != g.NumNodes() {
+		return nil, fmt.Errorf("core: matrix size %d for %d nodes", m.Size(), g.NumNodes())
+	}
+	table, err := policy.BuildMinHop(g, opts.H)
+	if err != nil {
+		return nil, fmt.Errorf("core: building routes: %w", err)
+	}
+	return finish(g, m, table, opts)
+}
+
+// NewWithTable derives a Scheme over an externally built route table (e.g.
+// bifurcated min-loss primaries); Λ^k is computed from the expected primary
+// flow: each pair contributes Weight·T(i,j) to every link of each primary.
+func NewWithTable(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options) (*Scheme, error) {
+	if table == nil {
+		return nil, fmt.Errorf("core: nil table")
+	}
+	return finish(g, m, table, opts)
+}
+
+func finish(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options) (*Scheme, error) {
+	loads := opts.LoadOverride
+	if loads == nil {
+		loads = expectedPrimaryLoads(g, m, table)
+	}
+	if len(loads) != g.NumLinks() {
+		return nil, fmt.Errorf("core: %d loads for %d links", len(loads), g.NumLinks())
+	}
+	prot := make([]int, g.NumLinks())
+	for id := 0; id < g.NumLinks(); id++ {
+		prot[id] = erlang.ProtectionLevel(loads[id], g.Link(graph.LinkID(id)).Capacity, table.MaxAltHops)
+	}
+	return &Scheme{
+		Graph:      g,
+		Matrix:     m,
+		Table:      table,
+		H:          table.MaxAltHops,
+		LinkLoads:  loads,
+		Protection: prot,
+	}, nil
+}
+
+// expectedPrimaryLoads computes Λ^k from the table's (possibly bifurcated)
+// primaries: Equation 1 generalized with selection weights.
+func expectedPrimaryLoads(g *graph.Graph, m *traffic.Matrix, table *policy.Table) []float64 {
+	loads := make([]float64, g.NumLinks())
+	n := g.NumNodes()
+	for i := graph.NodeID(0); int(i) < n; i++ {
+		for j := graph.NodeID(0); int(j) < n; j++ {
+			if i == j {
+				continue
+			}
+			rs := table.Routes(i, j)
+			if rs == nil {
+				continue
+			}
+			d := m.Demand(i, j)
+			for _, wp := range rs.Primaries {
+				for _, id := range wp.Path.Links {
+					loads[id] += d * wp.Weight
+				}
+			}
+		}
+	}
+	return loads
+}
+
+// SinglePath returns the single-path (SI only) baseline policy.
+func (s *Scheme) SinglePath() sim.Policy { return policy.SinglePath{T: s.Table} }
+
+// Uncontrolled returns the uncontrolled alternate-routing policy.
+func (s *Scheme) Uncontrolled() sim.Policy { return policy.Uncontrolled{T: s.Table} }
+
+// Controlled returns the paper's controlled alternate-routing policy with
+// the scheme's protection levels.
+func (s *Scheme) Controlled() sim.Policy {
+	return policy.Controlled{T: s.Table, R: s.Protection}
+}
+
+// OttKrishnan returns the separable shadow-price comparator built from the
+// scheme's (unreduced) link loads.
+func (s *Scheme) OttKrishnan() (sim.Policy, error) {
+	p, err := policy.NewOttKrishnan(s.Table, s.LinkLoads)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LossBounds returns the Theorem 1 per-link bounds
+// B(Λ^k,C^k)/B(Λ^k,C^k−r^k) at the scheme's protection levels; every entry
+// is guaranteed <= 1/H unless the protection saturates at C (links whose
+// overload makes any alternate admission unprofitable).
+func (s *Scheme) LossBounds() []float64 {
+	out := make([]float64, s.Graph.NumLinks())
+	for id := range out {
+		out[id] = erlang.LossBound(s.LinkLoads[id], s.Graph.Link(graph.LinkID(id)).Capacity, s.Protection[id])
+	}
+	return out
+}

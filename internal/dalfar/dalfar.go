@@ -1,0 +1,200 @@
+// Package dalfar implements a distributed alternate-route computation in the
+// spirit of Harshavardhana, Dravida & Bondi's DALFAR (Globecom '91), which
+// the paper cites (§1) as the way loop-free alternate paths ordered by hop
+// count "can be deduced with surprising ease from distributed minimum-hop
+// path information".
+//
+// The package simulates the distributed protocol honestly: every node runs a
+// distance-vector process that exchanges per-destination hop counts with its
+// neighbours in synchronous rounds (a synchronous Bellman–Ford), and then
+// derives, purely from its own table and its neighbours' advertised
+// distances, (a) its primary next hop and (b) the suite of alternate next
+// hops ordered by the length of the path they commit to. No node ever sees
+// the global topology.
+package dalfar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/paths"
+)
+
+// Node is one router's protocol state.
+type Node struct {
+	ID graph.NodeID
+	// Dist[d] is the node's current estimate of its min-hop distance to d.
+	Dist []int
+	// NbrDist[u][d] is the last distance vector received from neighbour u.
+	NbrDist map[graph.NodeID][]int
+}
+
+// Network is the collection of protocol instances plus exchange bookkeeping.
+type Network struct {
+	g     *graph.Graph
+	nodes []*Node
+	// Rounds is the number of synchronous exchanges executed before
+	// convergence.
+	Rounds int
+	// Messages counts distance-vector messages sent (one per directed link
+	// per round, as real distance-vector protocols would flood updates).
+	Messages int
+}
+
+const unreachable = 1 << 29
+
+// Run executes the distributed computation to convergence and returns the
+// converged network. It fails if some destination stays unreachable.
+func Run(g *graph.Graph) (*Network, error) {
+	n := g.NumNodes()
+	net := &Network{g: g}
+	for i := 0; i < n; i++ {
+		nd := &Node{ID: graph.NodeID(i), Dist: make([]int, n), NbrDist: make(map[graph.NodeID][]int)}
+		for d := 0; d < n; d++ {
+			if d == i {
+				nd.Dist[d] = 0
+			} else {
+				nd.Dist[d] = unreachable
+			}
+		}
+		net.nodes = append(net.nodes, nd)
+	}
+	// Synchronous rounds: every node sends its vector to every out-neighbour
+	// (the neighbour reachable over an up link), then all recompute.
+	for round := 0; round < n+1; round++ {
+		// Deliver.
+		for _, nd := range net.nodes {
+			for _, id := range g.Out(nd.ID) {
+				l := g.Link(id)
+				if l.Down {
+					continue
+				}
+				recv := net.nodes[l.To]
+				vec := append([]int(nil), nd.Dist...)
+				recv.NbrDist[nd.ID] = vec
+				net.Messages++
+			}
+		}
+		// Recompute.
+		changed := false
+		for _, nd := range net.nodes {
+			for d := 0; d < n; d++ {
+				if graph.NodeID(d) == nd.ID {
+					continue
+				}
+				best := unreachable
+				// A node forwards over its *outgoing* links; the relevant
+				// neighbour distance is the neighbour's own distance to d.
+				for _, id := range g.Out(nd.ID) {
+					l := g.Link(id)
+					if l.Down {
+						continue
+					}
+					vec, ok := nd.NbrDist[l.To]
+					if !ok {
+						continue
+					}
+					if vec[d]+1 < best {
+						best = vec[d] + 1
+					}
+				}
+				if best < nd.Dist[d] {
+					nd.Dist[d] = best
+					changed = true
+				}
+			}
+		}
+		net.Rounds = round + 1
+		if !changed && round > 0 {
+			break
+		}
+	}
+	for _, nd := range net.nodes {
+		for d := 0; d < n; d++ {
+			if nd.Dist[d] >= unreachable {
+				return nil, fmt.Errorf("dalfar: node %d cannot reach %d", nd.ID, d)
+			}
+		}
+	}
+	return net, nil
+}
+
+// Distances returns node v's converged distance vector.
+func (net *Network) Distances(v graph.NodeID) []int {
+	return append([]int(nil), net.nodes[v].Dist...)
+}
+
+// NextHopChoice is one forwarding option for a destination: taking the link
+// to Neighbour commits to a route of CommittedLength hops (1 + the
+// neighbour's distance).
+type NextHopChoice struct {
+	Neighbour       graph.NodeID
+	Link            graph.LinkID
+	CommittedLength int
+	// Downhill marks choices that strictly reduce the distance to the
+	// destination; chains of downhill choices are loop-free by construction,
+	// which is how a node can locally certify an alternate.
+	Downhill bool
+}
+
+// Choices returns v's forwarding options toward d ordered by committed
+// length (ties by neighbour ID): the first entry is the primary next hop;
+// the remainder are the locally deducible alternates of increasing length.
+func (net *Network) Choices(v, d graph.NodeID) []NextHopChoice {
+	if v == d {
+		return nil
+	}
+	nd := net.nodes[v]
+	var out []NextHopChoice
+	for _, id := range net.g.Out(v) {
+		l := net.g.Link(id)
+		if l.Down {
+			continue
+		}
+		vec, ok := nd.NbrDist[l.To]
+		if !ok || vec[d] >= unreachable {
+			continue
+		}
+		out = append(out, NextHopChoice{
+			Neighbour:       l.To,
+			Link:            id,
+			CommittedLength: vec[d] + 1,
+			Downhill:        vec[d] < nd.Dist[d],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CommittedLength != out[j].CommittedLength {
+			return out[i].CommittedLength < out[j].CommittedLength
+		}
+		return out[i].Neighbour < out[j].Neighbour
+	})
+	return out
+}
+
+// AssemblePath follows greedy min-committed-length forwarding from v to d
+// using only converged local tables (each hop independently consults its own
+// choices), returning the resulting path. This reconstructs a min-hop path
+// without any central computation.
+func (net *Network) AssemblePath(v, d graph.NodeID) (paths.Path, error) {
+	if v == d {
+		return paths.Path{Nodes: []graph.NodeID{v}}, nil
+	}
+	nodes := []graph.NodeID{v}
+	var links []graph.LinkID
+	cur := v
+	for cur != d {
+		cs := net.Choices(cur, d)
+		if len(cs) == 0 {
+			return paths.Path{}, fmt.Errorf("dalfar: node %d has no choice toward %d", cur, d)
+		}
+		best := cs[0]
+		nodes = append(nodes, best.Neighbour)
+		links = append(links, best.Link)
+		cur = best.Neighbour
+		if len(links) > net.g.NumNodes() {
+			return paths.Path{}, fmt.Errorf("dalfar: forwarding loop from %d to %d", v, d)
+		}
+	}
+	return paths.Path{Nodes: nodes, Links: links}, nil
+}

@@ -1,0 +1,184 @@
+package dalfar
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/paths"
+)
+
+func TestDistancesMatchBFS(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"quadrangle": netmodel.Quadrangle(),
+		"nsfnet":     netmodel.NSFNet(),
+		"ring8":      netmodel.Ring(8, 10),
+	} {
+		net, err := Run(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			dist := net.Distances(v)
+			for d := graph.NodeID(0); int(d) < g.NumNodes(); d++ {
+				if v == d {
+					if dist[d] != 0 {
+						t.Errorf("%s: dist(%d,%d) = %d, want 0", name, v, d, dist[d])
+					}
+					continue
+				}
+				p, ok := paths.MinHop(g, v, d)
+				if !ok {
+					t.Fatalf("%s: BFS found no path %d→%d", name, v, d)
+				}
+				if dist[d] != p.Hops() {
+					t.Errorf("%s: dist(%d,%d) = %d, BFS %d", name, v, d, dist[d], p.Hops())
+				}
+			}
+		}
+	}
+}
+
+func TestConvergenceBoundedByDiameter(t *testing.T) {
+	g := netmodel.NSFNet()
+	net, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous Bellman–Ford converges within diameter+1 rounds (+1 to
+	// detect quiescence); NSFNet diameter is 5.
+	if net.Rounds > 7 {
+		t.Errorf("converged in %d rounds, want <= 7", net.Rounds)
+	}
+	if net.Messages == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestRunFailsOnPartition(t *testing.T) {
+	g := graph.New()
+	g.AddNodes(3)
+	g.MustAddLink(0, 1, 1)
+	g.MustAddLink(1, 0, 1)
+	if _, err := Run(g); err == nil {
+		t.Error("partitioned graph: want error")
+	}
+}
+
+func TestChoicesOrderingAndPrimaries(t *testing.T) {
+	g := netmodel.NSFNet()
+	net, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for d := graph.NodeID(0); int(d) < g.NumNodes(); d++ {
+			if v == d {
+				if net.Choices(v, d) != nil {
+					t.Errorf("Choices(%d,%d) should be nil", v, d)
+				}
+				continue
+			}
+			cs := net.Choices(v, d)
+			if len(cs) == 0 {
+				t.Fatalf("no choices %d→%d", v, d)
+			}
+			// First choice commits to the min-hop distance.
+			if cs[0].CommittedLength != net.Distances(v)[d] {
+				t.Errorf("%d→%d: primary commits to %d, dist %d",
+					v, d, cs[0].CommittedLength, net.Distances(v)[d])
+			}
+			if !cs[0].Downhill {
+				t.Errorf("%d→%d: primary choice must be downhill", v, d)
+			}
+			for i := 1; i < len(cs); i++ {
+				if cs[i].CommittedLength < cs[i-1].CommittedLength {
+					t.Errorf("%d→%d: choices out of order", v, d)
+				}
+			}
+		}
+	}
+}
+
+func TestAssemblePathMatchesCentralizedMinHop(t *testing.T) {
+	g := netmodel.NSFNet()
+	net, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for d := graph.NodeID(0); int(d) < g.NumNodes(); d++ {
+			p, err := net.AssemblePath(v, d)
+			if err != nil {
+				t.Fatalf("AssemblePath(%d,%d): %v", v, d, err)
+			}
+			if v == d {
+				if p.Hops() != 0 {
+					t.Errorf("self path has %d hops", p.Hops())
+				}
+				continue
+			}
+			central, _ := paths.MinHop(g, v, d)
+			if p.Hops() != central.Hops() {
+				t.Errorf("%d→%d: distributed %d hops, centralized %d", v, d, p.Hops(), central.Hops())
+			}
+			if err := paths.Validate(g, p); err != nil {
+				t.Errorf("%d→%d: invalid assembled path: %v", v, d, err)
+			}
+		}
+	}
+}
+
+func TestDownhillChainsAreLoopFree(t *testing.T) {
+	// Following any downhill choice at every hop must terminate: distances
+	// strictly decrease. Verify exhaustively on the quadrangle.
+	g := netmodel.Quadrangle()
+	net, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(v, d graph.NodeID, steps int) bool
+	walk = func(v, d graph.NodeID, steps int) bool {
+		if v == d {
+			return true
+		}
+		if steps > g.NumNodes() {
+			return false
+		}
+		for _, c := range net.Choices(v, d) {
+			if !c.Downhill {
+				continue
+			}
+			if !walk(c.Neighbour, d, steps+1) {
+				return false
+			}
+		}
+		return true
+	}
+	for v := graph.NodeID(0); v < 4; v++ {
+		for d := graph.NodeID(0); d < 4; d++ {
+			if v != d && !walk(v, d, 0) {
+				t.Errorf("downhill walk from %d to %d looped", v, d)
+			}
+		}
+	}
+}
+
+func TestChoicesRespectDownLinks(t *testing.T) {
+	g := netmodel.Quadrangle()
+	if err := g.SetDuplexDown(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	net, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range net.Choices(0, 1) {
+		if c.Neighbour == 1 {
+			t.Error("choice uses the failed direct link")
+		}
+	}
+	if d := net.Distances(0)[1]; d != 2 {
+		t.Errorf("dist(0,1) with direct link down = %d, want 2", d)
+	}
+}

@@ -1,0 +1,25 @@
+package dalfar_test
+
+import (
+	"fmt"
+
+	"repro/internal/dalfar"
+	"repro/internal/netmodel"
+)
+
+// Each node's converged table ranks its forwarding options toward a
+// destination by the hop count they commit to: the primary next hop first,
+// then the locally deducible alternates — the DALFAR observation the paper
+// leans on for distributed alternate-route computation.
+func ExampleNetwork_Choices() {
+	net, err := dalfar.Run(netmodel.NSFNet())
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range net.Choices(0, 5) {
+		fmt.Printf("via %d: %d hops (downhill=%v)\n", c.Neighbour, c.CommittedLength, c.Downhill)
+	}
+	// Output:
+	// via 1: 2 hops (downhill=true)
+	// via 11: 3 hops (downhill=false)
+}

@@ -1,0 +1,167 @@
+package erlang
+
+import (
+	"fmt"
+	"math"
+)
+
+// BirthDeath describes a finite birth–death chain on states 0..C used to
+// model a link whose call-arrival rate may depend on the link state, as in
+// the Markov chain of the paper's Figure 1 (primary rate ν in every state,
+// overflow rate λ^(o)_s only below the protection boundary).
+//
+// Births[s] is the total arrival (birth) rate in state s, for s in
+// [0, C−1]; deaths are the natural rates 1, 2, …, C scaled by DeathScale
+// (DeathScale <= 0 means 1, i.e. unit mean holding time).
+type BirthDeath struct {
+	Births     []float64
+	DeathScale float64
+}
+
+// Capacity returns C, the number of states minus one.
+func (bd BirthDeath) Capacity() int { return len(bd.Births) }
+
+// validate panics on malformed rate vectors.
+func (bd BirthDeath) validate() {
+	for s, r := range bd.Births {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			panic(fmt.Errorf("%w: birth rate %v in state %d", ErrInvalidArgument, r, s))
+		}
+	}
+}
+
+// StationaryDistribution returns the stationary probabilities π_0..π_C of the
+// chain. The unnormalized weights are accumulated in a numerically careful
+// way (running products renormalized against their max) so that long chains
+// with large rates do not overflow.
+func (bd BirthDeath) StationaryDistribution() []float64 {
+	bd.validate()
+	c := bd.Capacity()
+	mu := bd.DeathScale
+	if mu <= 0 {
+		mu = 1
+	}
+	w := make([]float64, c+1)
+	w[0] = 1
+	maxW := 1.0
+	for s := 1; s <= c; s++ {
+		w[s] = w[s-1] * bd.Births[s-1] / (float64(s) * mu)
+		if w[s] > maxW {
+			maxW = w[s]
+		}
+		if math.IsInf(w[s], 1) {
+			// Renormalize the prefix and continue.
+			for i := 0; i <= s; i++ {
+				w[i] /= maxW
+			}
+			maxW = 1
+			for i := 1; i <= s; i++ {
+				if w[i] > maxW {
+					maxW = w[i]
+				}
+			}
+		}
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if sum == 0 || math.IsNaN(sum) {
+		// Degenerate all-zero births: chain is absorbed at state 0.
+		p := make([]float64, c+1)
+		p[0] = 1
+		return p
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// TimeCongestion returns π_C: the long-run fraction of time the chain spends
+// in the blocking state. For state-independent Poisson arrivals this equals
+// the call congestion by PASTA and coincides with the generalized Erlang
+// blocking function B(λ̲, C) of the paper.
+func (bd BirthDeath) TimeCongestion() float64 {
+	p := bd.StationaryDistribution()
+	return p[len(p)-1]
+}
+
+// CallCongestion returns the fraction of arriving calls that are blocked
+// when the arrival rate is state dependent: Σ_s λ_s·π_s restricted to s = C
+// over all states. Arrivals in state C see no birth rate defined by the
+// truncated chain; callers supply blockedRate, the arrival intensity that
+// would be offered in state C (for a link admitting primaries in all states
+// below C and nothing at C, this is the primary rate ν).
+func (bd BirthDeath) CallCongestion(blockedRate float64) float64 {
+	if blockedRate < 0 {
+		panic(fmt.Errorf("%w: blockedRate %v", ErrInvalidArgument, blockedRate))
+	}
+	p := bd.StationaryDistribution()
+	c := bd.Capacity()
+	total := 0.0
+	for s := 0; s < c; s++ {
+		total += bd.Births[s] * p[s]
+	}
+	total += blockedRate * p[c]
+	if total == 0 {
+		return 0
+	}
+	return blockedRate * p[c] / total
+}
+
+// LinkChain constructs the birth–death chain of the paper's Figure 1 for a
+// link of the given capacity with primary arrival rate primary (ν) in every
+// state and overflow (alternate-routed) arrival rate overflow[s] in state s
+// for s < capacity−protection. States capacity−protection .. capacity admit
+// only primaries. overflow may be shorter than needed; missing entries are
+// treated as zero. A nil overflow yields the plain M/M/C/C chain.
+func LinkChain(primary float64, capacity, protection int, overflow []float64) BirthDeath {
+	if capacity < 0 {
+		panic(fmt.Errorf("%w: capacity %d", ErrInvalidArgument, capacity))
+	}
+	if protection < 0 {
+		protection = 0
+	}
+	if protection > capacity {
+		protection = capacity
+	}
+	births := make([]float64, capacity)
+	boundary := capacity - protection
+	for s := 0; s < capacity; s++ {
+		births[s] = primary
+		if s < boundary && s < len(overflow) {
+			births[s] += overflow[s]
+		}
+	}
+	return BirthDeath{Births: births}
+}
+
+// GeneralizedB evaluates the generalized Erlang blocking function B(λ̲, C) of
+// the paper: the time congestion of the birth–death chain with birth vector
+// rates (length C) and unit per-call departure rate.
+func GeneralizedB(rates []float64) float64 {
+	return BirthDeath{Births: rates}.TimeCongestion()
+}
+
+// ExpectedOccupancy returns Σ_s s·π_s, the mean number of calls in progress.
+func (bd BirthDeath) ExpectedOccupancy() float64 {
+	p := bd.StationaryDistribution()
+	m := 0.0
+	for s, prob := range p {
+		m += float64(s) * prob
+	}
+	return m
+}
+
+// ThroughputRate returns the long-run rate of admitted calls,
+// Σ_{s<C} births[s]·π_s.
+func (bd BirthDeath) ThroughputRate() float64 {
+	p := bd.StationaryDistribution()
+	c := bd.Capacity()
+	t := 0.0
+	for s := 0; s < c; s++ {
+		t += bd.Births[s] * p[s]
+	}
+	return t
+}

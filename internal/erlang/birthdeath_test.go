@@ -1,0 +1,187 @@
+package erlang
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStationaryMatchesErlangB(t *testing.T) {
+	// A chain with constant birth rate λ and unit deaths is M/M/C/C: its time
+	// congestion must equal Erlang-B.
+	for _, load := range []float64{0.5, 5, 74, 120} {
+		for _, c := range []int{1, 10, 100} {
+			births := make([]float64, c)
+			for i := range births {
+				births[i] = load
+			}
+			got := BirthDeath{Births: births}.TimeCongestion()
+			want := B(load, c)
+			if math.Abs(got-want) > 1e-10*math.Max(want, 1e-300) && math.Abs(got-want) > 1e-14 {
+				t.Errorf("TimeCongestion(λ=%v,C=%d) = %v, want Erlang-B %v", load, c, got, want)
+			}
+		}
+	}
+}
+
+func TestStationarySumsToOne(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed uint32, capSeed uint8) bool {
+		c := 1 + int(capSeed)%60
+		births := make([]float64, c)
+		s := seed
+		for i := range births {
+			s = s*1664525 + 1013904223
+			births[i] = float64(s%1000) / 7.0
+		}
+		p := BirthDeath{Births: births}.StationaryDistribution()
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCallCongestionPASTA(t *testing.T) {
+	// With state-independent arrivals, call congestion equals time congestion.
+	load := 42.0
+	c := 60
+	births := make([]float64, c)
+	for i := range births {
+		births[i] = load
+	}
+	bd := BirthDeath{Births: births}
+	if got, want := bd.CallCongestion(load), bd.TimeCongestion(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PASTA violated: call %v vs time %v", got, want)
+	}
+}
+
+func TestLinkChainProtectionBoundary(t *testing.T) {
+	// With protection r, overflow must contribute only below state C−r.
+	c, r := 10, 3
+	overflow := make([]float64, c)
+	for i := range overflow {
+		overflow[i] = 5
+	}
+	bd := LinkChain(2, c, r, overflow)
+	if bd.Capacity() != c {
+		t.Fatalf("capacity = %d, want %d", bd.Capacity(), c)
+	}
+	for s := 0; s < c; s++ {
+		want := 2.0
+		if s < c-r {
+			want = 7.0
+		}
+		if bd.Births[s] != want {
+			t.Errorf("state %d: birth rate %v, want %v", s, bd.Births[s], want)
+		}
+	}
+}
+
+func TestLinkChainClamping(t *testing.T) {
+	bd := LinkChain(1, 5, -3, nil)
+	for s, b := range bd.Births {
+		if b != 1 {
+			t.Errorf("negative protection clamps to 0: state %d rate %v", s, b)
+		}
+	}
+	bd = LinkChain(1, 5, 99, []float64{100, 100, 100, 100, 100})
+	for s, b := range bd.Births {
+		if b != 1 {
+			t.Errorf("protection > C clamps to C (no overflow anywhere): state %d rate %v", s, b)
+		}
+	}
+}
+
+func TestTheorem1BoundHolds(t *testing.T) {
+	// Numerically verify Theorem 1: for arbitrary nonneg. overflow vectors,
+	// the exact increase in primary loss rate caused by overflow admission is
+	// bounded via the generalized chain, and in particular the *bound*
+	// B(Λ,C)/B(Λ,C−r) exceeds B(ν,C)/B(ν,C−r) for ν <= Λ, which is the chain
+	// of inequalities (14) in the paper.
+	for _, lambda := range []float64{60, 74, 90} {
+		for _, r := range []int{1, 5, 10} {
+			for _, nuFrac := range []float64{0.5, 0.8, 1.0} {
+				nu := lambda * nuFrac
+				inner := Ratio(nu, 100, 100-r)
+				outer := Ratio(lambda, 100, 100-r)
+				if inner > outer+1e-12 {
+					t.Errorf("Λ=%v r=%d ν=%v: B(ν,C)/B(ν,C−r)=%v > B(Λ,C)/B(Λ,C−r)=%v",
+						lambda, r, nu, inner, outer)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralizedBStateDependentRatioBound(t *testing.T) {
+	// Inequality (11): for any overflow vector, B(λ̲,C)/B(λ̲,C−r) computed on
+	// the *same* rate prefix is <= B(ν,C)/B(ν,C−r) with all overflow zero
+	// (pushing λ^(o) to zero maximizes the ratio). Spot-check numerically.
+	nu := 70.0
+	c := 100
+	for _, r := range []int{2, 8} {
+		for _, ov := range []float64{0, 3, 20, 80} {
+			rates := make([]float64, c)
+			for s := 0; s < c; s++ {
+				rates[s] = nu
+				if s < c-r {
+					rates[s] += ov
+				}
+			}
+			full := GeneralizedB(rates)
+			trunc := GeneralizedB(rates[:c-r])
+			ratio := full / trunc
+			bound := Ratio(nu, c, c-r)
+			if ratio > bound+1e-9 {
+				t.Errorf("r=%d ov=%v: generalized ratio %v exceeds zero-overflow bound %v", r, ov, ratio, bound)
+			}
+		}
+	}
+}
+
+func TestExpectedOccupancyAndThroughput(t *testing.T) {
+	// For M/M/C/C: mean occupancy = λ(1−B), throughput = λ(1−B).
+	load := 30.0
+	c := 40
+	births := make([]float64, c)
+	for i := range births {
+		births[i] = load
+	}
+	bd := BirthDeath{Births: births}
+	carried := load * (1 - B(load, c))
+	if got := bd.ExpectedOccupancy(); math.Abs(got-carried) > 1e-8 {
+		t.Errorf("ExpectedOccupancy = %v, want %v", got, carried)
+	}
+	if got := bd.ThroughputRate(); math.Abs(got-carried) > 1e-8 {
+		t.Errorf("ThroughputRate = %v, want %v", got, carried)
+	}
+}
+
+func TestStationaryDegenerate(t *testing.T) {
+	p := BirthDeath{Births: []float64{0, 0, 0}}.StationaryDistribution()
+	if p[0] != 1 {
+		t.Errorf("all-zero births: π_0 = %v, want 1", p[0])
+	}
+	for s := 1; s < len(p); s++ {
+		if p[s] != 0 {
+			t.Errorf("all-zero births: π_%d = %v, want 0", s, p[s])
+		}
+	}
+}
+
+func TestCallCongestionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative blockedRate")
+		}
+	}()
+	BirthDeath{Births: []float64{1}}.CallCongestion(-1)
+}

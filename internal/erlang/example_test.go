@@ -1,0 +1,54 @@
+package erlang_test
+
+import (
+	"fmt"
+
+	"repro/internal/erlang"
+)
+
+// The state-protection level of the paper's Table 1, link 6→5: Λ=87 Erlangs
+// on a 100-call link with alternates limited to 6 hops.
+func ExampleProtectionLevel() {
+	r := erlang.ProtectionLevel(87, 100, 6)
+	fmt.Println(r)
+	// Output:
+	// 16
+}
+
+// B(100, 100) is a classic value: a link offered exactly its capacity in
+// Erlangs blocks about 7.6% of calls.
+func ExampleB() {
+	fmt.Printf("%.4f\n", erlang.B(100, 100))
+	// Output:
+	// 0.0757
+}
+
+// The Theorem-1 bound: with Λ=74 and r=7 (the Table-1 H=6 level for link
+// 0→1), admitting one alternate-routed call displaces at most 1/6 of a
+// primary call in expectation.
+func ExampleLossBound() {
+	bound := erlang.LossBound(74, 100, 7)
+	fmt.Printf("%.4f <= %.4f\n", bound, 1.0/6)
+	// Output:
+	// 0.1487 <= 0.1667
+}
+
+// A protected link's stationary behaviour (the paper's Figure-1 chain):
+// primary rate 14 everywhere, overflow rate 6 admitted only below C−r.
+func ExampleLinkChain() {
+	overflow := make([]float64, 20)
+	for i := range overflow {
+		overflow[i] = 6
+	}
+	chain := erlang.LinkChain(14, 20, 4, overflow)
+	fmt.Printf("time congestion %.4f\n", chain.TimeCongestion())
+	// Output:
+	// time congestion 0.0581
+}
+
+// Overflow from a finite group is peaked: variance exceeds the mean.
+func ExamplePeakedness() {
+	fmt.Printf("%.3f\n", erlang.Peakedness(74, 70))
+	// Output:
+	// 4.121
+}

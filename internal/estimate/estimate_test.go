@@ -1,0 +1,182 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/paths"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func TestEstimatorConvergesToOfferedRate(t *testing.T) {
+	g := netmodel.Quadrangle()
+	e, err := New(g, 5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := g.LinkBetween(0, 1)
+	p := paths.Path{Nodes: []graph.NodeID{0, 1}, Links: []graph.LinkID{id}}
+	// Deterministic arrivals at rate 20/unit for 200 units.
+	rate := 20.0
+	for i := 0; i < int(200*rate); i++ {
+		e.ObserveSetup(float64(i)/rate, p, graph.InvalidLink)
+	}
+	e.roll(201)
+	if got := e.Estimate(id); math.Abs(got-rate) > 0.5 {
+		t.Errorf("estimate %v, want ≈%v", got, rate)
+	}
+	// Unobserved links stay at zero.
+	if got := e.Estimate(g.LinkBetween(2, 3)); got != 0 {
+		t.Errorf("idle link estimate %v", got)
+	}
+}
+
+func TestEstimatorStopsAtBlockingLink(t *testing.T) {
+	g := netmodel.Quadrangle()
+	e, err := New(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := g.LinkBetween(0, 2)
+	bc := g.LinkBetween(2, 1)
+	p := paths.Path{Nodes: []graph.NodeID{0, 2, 1}, Links: []graph.LinkID{ab, bc}}
+	e.ObserveSetup(0, p, ab) // blocked at first hop: second hop never sees it
+	e.roll(1.5)
+	if e.Estimate(ab) == 0 {
+		t.Error("blocking link should observe the set-up")
+	}
+	if e.Estimate(bc) != 0 {
+		t.Error("downstream link must not observe a blocked set-up")
+	}
+}
+
+func TestPrime(t *testing.T) {
+	g := netmodel.Quadrangle()
+	e, err := New(g, 5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumLinks())
+	for i := range loads {
+		loads[i] = 42
+	}
+	if err := e.Prime(loads); err != nil {
+		t.Fatal(err)
+	}
+	if e.Estimate(0) != 42 {
+		t.Errorf("primed estimate %v", e.Estimate(0))
+	}
+	if err := e.Prime([]float64{1}); err == nil {
+		t.Error("bad length: want error")
+	}
+	// EWMA pulls a primed estimate toward the observed rate.
+	e.roll(6)
+	if got := e.Estimate(0); got >= 42 {
+		t.Errorf("estimate %v should decay toward observed 0", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 5, 0.3); err == nil {
+		t.Error("nil graph: want error")
+	}
+	g := netmodel.Quadrangle()
+	e, err := New(g, -1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Window != 5 || e.Alpha != 0.3 {
+		t.Errorf("defaults not applied: window %v alpha %v", e.Window, e.Alpha)
+	}
+}
+
+// TestAdaptiveControlledTracksOracle runs the adaptive policy on the
+// quadrangle and checks (a) it is competitive with the a-priori-Λ controlled
+// policy (robustness claim) and (b) its learned protection levels land near
+// the oracle values.
+func TestAdaptiveControlledTracksOracle(t *testing.T) {
+	g := netmodel.Quadrangle()
+	load := 90.0
+	m := traffic.Uniform(4, load)
+	tbl, err := policy.BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumLinks())
+	for i := range loads {
+		loads[i] = load
+	}
+	oracle, err := policy.NewControlled(tbl, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var oracleBlocked, adaptiveBlocked, offered int64
+	var lastAdaptive *AdaptiveControlled
+	for seed := int64(0); seed < 4; seed++ {
+		tr := sim.GenerateTrace(m, 110, seed)
+		est, err := New(g, 5, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptive, err := NewAdaptiveControlled(tbl, est, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := sim.Run(sim.Config{Graph: g, Policy: oracle, Trace: tr, Warmup: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := sim.Run(sim.Config{Graph: g, Policy: adaptive, Trace: tr, Warmup: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleBlocked += ro.Blocked
+		adaptiveBlocked += ra.Blocked
+		offered += ro.Offered
+		lastAdaptive = adaptive
+	}
+	ob := float64(oracleBlocked) / float64(offered)
+	ab := float64(adaptiveBlocked) / float64(offered)
+	if ab > ob+0.012 {
+		t.Errorf("adaptive blocking %v much worse than oracle %v", ab, ob)
+	}
+	// Learned protection close to the oracle's: the estimate measures the
+	// thinned demand (bias down) with window sampling noise (spread both
+	// ways), so allow a modest band around the oracle level.
+	or := oracle.R[0]
+	for id, r := range lastAdaptive.Protection() {
+		if r > or+4 || r < or-6 {
+			t.Errorf("link %d: learned r=%d far from oracle r=%d", id, r, or)
+		}
+	}
+}
+
+func TestNewAdaptiveControlledValidation(t *testing.T) {
+	g := netmodel.Quadrangle()
+	est, err := New(g, 5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAdaptiveControlled(nil, est, 0); err == nil {
+		t.Error("nil table: want error")
+	}
+	tbl, err := policy.BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAdaptiveControlled(tbl, nil, 0); err == nil {
+		t.Error("nil estimator: want error")
+	}
+	a, err := NewAdaptiveControlled(tbl, est, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Refresh != est.Window {
+		t.Errorf("default refresh %v, want window %v", a.Refresh, est.Window)
+	}
+}

@@ -1,0 +1,230 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/paths"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// admitPrimaryOnly admits only route 0 (the primary) with plain capacity.
+func admitPrimaryOnly(r int, _ paths.Path, _ []int) bool { return r == 0 }
+
+// admitAll admits any route with plain capacity (uncontrolled).
+func admitAll(int, paths.Path, []int) bool { return true }
+
+// admitControlled builds the paper's rule: primaries always, alternates only
+// while every link stays below C−r.
+func admitControlled(g *graph.Graph, prot []int) Admission {
+	return func(ri int, route paths.Path, occ []int) bool {
+		if ri == 0 {
+			return true
+		}
+		for _, id := range route.Links {
+			c := g.Link(id).Capacity
+			if occ[id] > c-prot[id]-1 {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestSolveSingleLinkErlangB(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	id := g.MustAddLink(a, b, 4)
+	route := paths.Path{Nodes: []graph.NodeID{a, b}, Links: []graph.LinkID{id}}
+	for _, rate := range []float64{0.5, 2, 4, 8} {
+		res, err := Solve(Model{
+			Graph:   g,
+			Demands: []Demand{{Origin: a, Dest: b, Rate: rate, Routes: []paths.Path{route}}},
+			Admit:   admitPrimaryOnly,
+		}, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := erlang.B(rate, 4)
+		if math.Abs(res.Blocking-want) > 1e-9 {
+			t.Errorf("rate %v: exact blocking %v, Erlang-B %v", rate, res.Blocking, want)
+		}
+		if res.States != 5 {
+			t.Errorf("states = %d, want 5", res.States)
+		}
+	}
+}
+
+// triangleModel builds a 3-node duplex triangle with capacity c and a
+// demand for every ordered pair at the given rate, each with its direct
+// primary and the 2-hop alternate — so alternate-routed calls compete with
+// other pairs' primaries, as in the paper's networks.
+func triangleModel(t *testing.T, c int, rate float64, admit func(g *graph.Graph) Admission) (Model, *graph.Graph) {
+	t.Helper()
+	g := netmodel.Complete(3, c)
+	var demands []Demand
+	for o := graph.NodeID(0); o < 3; o++ {
+		for d := graph.NodeID(0); d < 3; d++ {
+			if o == d {
+				continue
+			}
+			prim, ok := paths.MinHop(g, o, d)
+			if !ok {
+				t.Fatal("no primary")
+			}
+			alts := paths.Alternates(g, o, d, prim, 2)
+			if len(alts) != 1 {
+				t.Fatalf("triangle should have one 2-hop alternate, got %d", len(alts))
+			}
+			demands = append(demands, Demand{Origin: o, Dest: d, Rate: rate, Routes: []paths.Path{prim, alts[0]}})
+		}
+	}
+	return Model{Graph: g, Demands: demands, Admit: admit(g)}, g
+}
+
+func TestSolveTriangleSinglePathExact(t *testing.T) {
+	// Single-path on the triangle: each demand sees an independent M/M/C/C.
+	m, _ := triangleModel(t, 3, 2.4, func(*graph.Graph) Admission { return admitPrimaryOnly })
+	res, err := Solve(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := erlang.B(2.4, 3)
+	for d, b := range res.BlockingByDemand {
+		if math.Abs(b-want) > 1e-9 {
+			t.Errorf("demand %d blocking %v, want %v", d, b, want)
+		}
+	}
+}
+
+// TestTheorem1GuaranteeExact is the rigorous form of the paper's headline
+// claim: with protection levels from Equation 15 (H=2 here), the exact
+// acceptance rate of controlled alternate routing is >= that of single-path
+// routing, across light, critical and overloaded regimes.
+func TestTheorem1GuaranteeExact(t *testing.T) {
+	const c = 3
+	for _, rate := range []float64{1, 2.5, 3, 4, 6, 9} {
+		r := erlang.ProtectionLevel(rate, c, 2)
+		prot := make([]int, 6)
+		for i := range prot {
+			prot[i] = r
+		}
+		mSingle, _ := triangleModel(t, c, rate, func(*graph.Graph) Admission { return admitPrimaryOnly })
+		mCtrl, _ := triangleModel(t, c, rate, func(g *graph.Graph) Admission { return admitControlled(g, prot) })
+		single, err := Solve(mSingle, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := Solve(mCtrl, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctrl.AcceptanceRate < single.AcceptanceRate-1e-9 {
+			t.Errorf("rate %v (r=%d): controlled acceptance %.9f < single-path %.9f",
+				rate, r, ctrl.AcceptanceRate, single.AcceptanceRate)
+		}
+	}
+}
+
+// TestUncontrolledAvalancheExact shows — exactly — the §1 pathology: at
+// overload, uncontrolled alternate routing accepts fewer calls than
+// single-path routing because alternates consume two links per call.
+func TestUncontrolledAvalancheExact(t *testing.T) {
+	const c = 3
+	mSingle, _ := triangleModel(t, c, 9, func(*graph.Graph) Admission { return admitPrimaryOnly })
+	mUnc, _ := triangleModel(t, c, 9, func(*graph.Graph) Admission { return admitAll })
+	single, err := Solve(mSingle, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc, err := Solve(mUnc, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unc.AcceptanceRate >= single.AcceptanceRate {
+		t.Errorf("overload: uncontrolled acceptance %.6f should drop below single-path %.6f",
+			unc.AcceptanceRate, single.AcceptanceRate)
+	}
+	// And at light load uncontrolled helps.
+	mSingleL, _ := triangleModel(t, c, 1.0, func(*graph.Graph) Admission { return admitPrimaryOnly })
+	mUncL, _ := triangleModel(t, c, 1.0, func(*graph.Graph) Admission { return admitAll })
+	singleL, err := Solve(mSingleL, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncL, err := Solve(mUncL, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncL.AcceptanceRate <= singleL.AcceptanceRate {
+		t.Errorf("light load: uncontrolled acceptance %.6f should exceed single-path %.6f",
+			uncL.AcceptanceRate, singleL.AcceptanceRate)
+	}
+}
+
+// TestExactMatchesSimulation cross-validates the two engines on the
+// uncontrolled triangle.
+func TestExactMatchesSimulation(t *testing.T) {
+	const c = 3
+	rate := 2.5
+	mUnc, g := triangleModel(t, c, rate, func(*graph.Graph) Admission { return admitAll })
+	exactRes, err := Solve(mUnc, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.Uniform(3, rate)
+	tbl, err := policy.BuildMinHop(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocked, offered int64
+	for seed := int64(0); seed < 10; seed++ {
+		tr := sim.GenerateTrace(tm, 510, seed)
+		res, err := sim.Run(sim.Config{Graph: g, Policy: policy.Uncontrolled{T: tbl}, Trace: tr, Warmup: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked += res.Blocked
+		offered += res.Offered
+	}
+	simulated := float64(blocked) / float64(offered)
+	if math.Abs(simulated-exactRes.Blocking) > 0.01 {
+		t.Errorf("simulated %v vs exact %v", simulated, exactRes.Blocking)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	g := netmodel.Complete(3, 2)
+	if _, err := Solve(Model{}, 0, 0); err == nil {
+		t.Error("empty model: want error")
+	}
+	prim, _ := paths.MinHop(g, 0, 1)
+	if _, err := Solve(Model{
+		Graph:   g,
+		Demands: []Demand{{Rate: -1, Routes: []paths.Path{prim}}},
+		Admit:   admitAll,
+	}, 0, 0); err == nil {
+		t.Error("negative rate: want error")
+	}
+	// State-space cap.
+	m, _ := triangleModel(t, 2, 1, func(*graph.Graph) Admission { return admitAll })
+	if _, err := Solve(m, 3, 0); err == nil {
+		t.Error("tiny maxStates: want error")
+	}
+	// Invalid route.
+	bad := prim.Clone()
+	bad.Nodes[1] = 2
+	if _, err := Solve(Model{
+		Graph:   g,
+		Demands: []Demand{{Rate: 1, Routes: []paths.Path{bad}}},
+		Admit:   admitAll,
+	}, 0, 0); err == nil {
+		t.Error("invalid route: want error")
+	}
+}

@@ -1,0 +1,270 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4), plus the extension studies DESIGN.md calls out. Each
+// experiment returns structured results and can render itself as the rows or
+// series the paper reports; cmd/altsim and the top-level benchmarks drive
+// these entry points.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bound"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// SimParams are the common simulation parameters; the zero value means the
+// paper's settings (10 seeds, 100 measured time units after a 10-unit
+// warm-up).
+type SimParams struct {
+	Seeds   int
+	Warmup  float64
+	Horizon float64
+}
+
+func (p SimParams) withDefaults() SimParams {
+	if p.Seeds <= 0 {
+		p.Seeds = 10
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = 10
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = p.Warmup + 100
+	}
+	return p
+}
+
+// Point is one measured sweep point: mean blocking over seeds with a 95% CI
+// half-width.
+type Point struct {
+	X, Y, Err float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Sweep is a full blocking-versus-load figure: one series per policy plus
+// the Erlang bound.
+type Sweep struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Render prints the sweep as an aligned table (one row per x, one column per
+// series), the textual equivalent of the paper's figures.
+func (s *Sweep) Render(w *strings.Builder) {
+	fmt.Fprintf(w, "%s\n", s.Title)
+	fmt.Fprintf(w, "%-10s", s.XLabel)
+	for _, ser := range s.Series {
+		fmt.Fprintf(w, " %22s", ser.Name)
+	}
+	fmt.Fprintln(w)
+	if len(s.Series) == 0 {
+		return
+	}
+	for i := range s.Series[0].Points {
+		fmt.Fprintf(w, "%-10.4g", s.Series[0].Points[i].X)
+		for _, ser := range s.Series {
+			p := ser.Points[i]
+			fmt.Fprintf(w, "    %8.5f ±%8.5f", p.Y, p.Err)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// String renders the sweep.
+func (s *Sweep) String() string {
+	var b strings.Builder
+	s.Render(&b)
+	return b.String()
+}
+
+// runPolicies measures mean blocking (over seeds) for each policy on the
+// given graph and matrix, replaying the identical trace per seed against all
+// policies (common random numbers). Seeds run in parallel — runs are
+// independent and the per-seed results are aggregated in seed order, so the
+// output is identical to the sequential computation.
+//
+// Policies consulted here must be stateless per call (true of every policy
+// in this repository except estimate.AdaptiveControlled, which callers run
+// with a fresh instance per seed anyway).
+func runPolicies(g *graph.Graph, m *traffic.Matrix, pols []sim.Policy, p SimParams) (map[string]stats.Summary, error) {
+	type seedResult struct {
+		blocking []float64 // indexed by policy
+		err      error
+	}
+	results := make([]seedResult, p.Seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for seed := 0; seed < p.Seeds; seed++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
+			sr := seedResult{blocking: make([]float64, len(pols))}
+			for i, pol := range pols {
+				res, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup})
+				if err != nil {
+					sr.err = fmt.Errorf("experiments: %s seed %d: %w", pol.Name(), seed, err)
+					break
+				}
+				sr.blocking[i] = res.Blocking()
+			}
+			results[seed] = sr
+		}(seed)
+	}
+	wg.Wait()
+	perPolicy := make(map[string][]float64, len(pols))
+	for seed := 0; seed < p.Seeds; seed++ {
+		if results[seed].err != nil {
+			return nil, results[seed].err
+		}
+		for i, pol := range pols {
+			perPolicy[pol.Name()] = append(perPolicy[pol.Name()], results[seed].blocking[i])
+		}
+	}
+	out := make(map[string]stats.Summary, len(perPolicy))
+	for name, xs := range perPolicy {
+		out[name] = stats.Summarize(xs)
+	}
+	return out, nil
+}
+
+// BlockingSweep runs a load sweep on one topology: for each load point,
+// build the scheme (which recomputes protection levels for that load), run
+// every requested policy over all seeds, and attach the Erlang bound.
+//
+// makeMatrix maps a sweep abscissa to the offered matrix; makePolicies maps
+// the derived scheme to the policy set compared at that point.
+func BlockingSweep(g *graph.Graph, xs []float64, h int,
+	makeMatrix func(x float64) *traffic.Matrix,
+	makePolicies func(s *core.Scheme) ([]sim.Policy, error),
+	p SimParams) (*Sweep, error) {
+
+	p = p.withDefaults()
+	sweep := &Sweep{XLabel: "load"}
+	var names []string
+	bySeries := make(map[string][]Point)
+	for _, x := range xs {
+		m := makeMatrix(x)
+		scheme, err := core.New(g, m, core.Options{H: h})
+		if err != nil {
+			return nil, err
+		}
+		pols, err := makePolicies(scheme)
+		if err != nil {
+			return nil, err
+		}
+		sums, err := runPolicies(g, m, pols, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range pols {
+			name := pol.Name()
+			if _, seen := bySeries[name]; !seen {
+				names = append(names, name)
+			}
+			s := sums[name]
+			bySeries[name] = append(bySeries[name], Point{X: x, Y: s.Mean, Err: s.HalfWidth95})
+		}
+		eb, err := bound.ErlangBound(g, m)
+		if err != nil {
+			return nil, err
+		}
+		if _, seen := bySeries["erlang-bound"]; !seen {
+			names = append(names, "erlang-bound")
+		}
+		bySeries["erlang-bound"] = append(bySeries["erlang-bound"], Point{X: x, Y: eb.Blocking})
+	}
+	for _, name := range names {
+		sweep.Series = append(sweep.Series, Series{Name: name, Points: bySeries[name]})
+	}
+	return sweep, nil
+}
+
+// SeriesByName returns the named series of a sweep (nil if absent).
+func (s *Sweep) SeriesByName(name string) *Series {
+	for i := range s.Series {
+		if s.Series[i].Name == name {
+			return &s.Series[i]
+		}
+	}
+	return nil
+}
+
+// sortedPairKeys returns map keys in deterministic order for rendering.
+func sortedPairKeys[V any](m map[[2]graph.NodeID]V) [][2]graph.NodeID {
+	keys := make([][2]graph.NodeID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// nsfnetNominal fetches the shared fitted matrix or fails the experiment.
+func nsfnetNominal() (*traffic.Matrix, error) {
+	m, _, err := traffic.NSFNetNominal()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return m, nil
+}
+
+// threePolicies is the canonical §4 comparison set.
+func threePolicies(s *core.Scheme) ([]sim.Policy, error) {
+	return []sim.Policy{s.SinglePath(), s.Uncontrolled(), s.Controlled()}, nil
+}
+
+// fourPolicies adds the Ott–Krishnan comparator (§4.2.2).
+func fourPolicies(s *core.Scheme) ([]sim.Policy, error) {
+	ok, err := s.OttKrishnan()
+	if err != nil {
+		return nil, err
+	}
+	return []sim.Policy{s.SinglePath(), s.Uncontrolled(), s.Controlled(), ok}, nil
+}
+
+// forEachSeed runs fn for every seed in [0, seeds) on bounded parallel
+// workers and returns the first error (by seed order). fn must only touch
+// per-seed state; aggregate after it returns.
+func forEachSeed(seeds int, fn func(seed int) error) error {
+	errs := make([]error, seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for seed := 0; seed < seeds; seed++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[seed] = fn(seed)
+		}(seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the sweep as CSV: one row per abscissa, with mean and 95%
+// CI half-width columns per series — the format plotting scripts consume to
+// redraw the paper's figures.
+func (s *Sweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"x"}
+	for _, ser := range s.Series {
+		header = append(header, ser.Name, ser.Name+"_ci95")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(s.Series) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	for i := range s.Series[0].Points {
+		row := []string{formatFloat(s.Series[0].Points[i].X)}
+		for _, ser := range s.Series {
+			if i >= len(ser.Points) {
+				return fmt.Errorf("experiments: series %q shorter than sweep", ser.Name)
+			}
+			row = append(row, formatFloat(ser.Points[i].Y), formatFloat(ser.Points[i].Err))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the sweep as a JSON document.
+func (s *Sweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

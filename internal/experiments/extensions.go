@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// CellularPoint is one load point of the §3.2 channel-borrowing study.
+type CellularPoint struct {
+	Load     float64
+	Blocking map[cellular.Mode]stats.Summary
+	// BorrowShare is the fraction of accepted calls that borrowed, under
+	// controlled borrowing.
+	BorrowShare float64
+}
+
+// Cellular runs the channel-borrowing comparison over a per-cell load grid
+// (C=50 channels, co-cell sets of 3 as in the paper's discussion).
+func Cellular(loads []float64, seeds int) ([]CellularPoint, error) {
+	if loads == nil {
+		loads = []float64{40, 44, 48, 52, 56, 60}
+	}
+	if seeds <= 0 {
+		seeds = 10
+	}
+	var out []CellularPoint
+	for _, load := range loads {
+		pt := CellularPoint{Load: load, Blocking: make(map[cellular.Mode]stats.Summary)}
+		samples := map[cellular.Mode][]float64{}
+		var borrowed, accepted int64
+		for seed := 0; seed < seeds; seed++ {
+			results, err := cellular.Compare(cellular.Config{Load: load, Seed: int64(seed)})
+			if err != nil {
+				return nil, err
+			}
+			for mode, res := range results {
+				samples[mode] = append(samples[mode], res.Blocking())
+			}
+			borrowed += results[cellular.ControlledBorrowing].Borrowed
+			accepted += results[cellular.ControlledBorrowing].Accepted
+		}
+		for mode, xs := range samples {
+			pt.Blocking[mode] = stats.Summarize(xs)
+		}
+		if accepted > 0 {
+			pt.BorrowShare = float64(borrowed) / float64(accepted)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderCellular prints the study.
+func RenderCellular(points []CellularPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Channel borrowing with state protection (C=50, co-cell set 3)\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %14s %12s\n",
+		"Erlangs", "no-borrow", "uncontrolled", "controlled", "borrow share")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-8.3g %14.5f %14.5f %14.5f %12.4f\n",
+			pt.Load,
+			pt.Blocking[cellular.NoBorrowing].Mean,
+			pt.Blocking[cellular.UncontrolledBorrowing].Mean,
+			pt.Blocking[cellular.ControlledBorrowing].Mean,
+			pt.BorrowShare)
+	}
+	return b.String()
+}
+
+// RobustnessPoint compares the oracle controlled policy (a-priori Λ) against
+// the adaptive one (online EWMA estimates) at one load.
+type RobustnessPoint struct {
+	Load             float64
+	Oracle, Adaptive stats.Summary
+	SinglePath       stats.Summary
+}
+
+// Robustness runs the estimation study on NSFNet: protection levels derived
+// online from observed set-ups should track the a-priori configuration
+// (§1's claim that links can estimate Λ^k, plus the robustness of state
+// protection per Key).
+func Robustness(loads []float64, h int, p SimParams) ([]RobustnessPoint, error) {
+	if loads == nil {
+		loads = []float64{8, 10, 12}
+	}
+	if h <= 0 {
+		h = 11
+	}
+	p = p.withDefaults()
+	g := netmodel.NSFNet()
+	nominal, err := nsfnetNominal()
+	if err != nil {
+		return nil, err
+	}
+	var out []RobustnessPoint
+	for _, load := range loads {
+		m := nominal.Scaled(load / 10)
+		scheme, err := core.New(g, m, core.Options{H: h})
+		if err != nil {
+			return nil, err
+		}
+		pt := RobustnessPoint{Load: load}
+		var oracleXs, adaptiveXs, singleXs []float64
+		for seed := 0; seed < p.Seeds; seed++ {
+			tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
+			ro, err := sim.Run(sim.Config{Graph: g, Policy: scheme.Controlled(), Trace: tr, Warmup: p.Warmup})
+			if err != nil {
+				return nil, err
+			}
+			est, err := estimate.New(g, 5, 0.3)
+			if err != nil {
+				return nil, err
+			}
+			adaptive, err := estimate.NewAdaptiveControlled(scheme.Table, est, 5)
+			if err != nil {
+				return nil, err
+			}
+			ra, err := sim.Run(sim.Config{Graph: g, Policy: adaptive, Trace: tr, Warmup: p.Warmup})
+			if err != nil {
+				return nil, err
+			}
+			rs, err := sim.Run(sim.Config{Graph: g, Policy: scheme.SinglePath(), Trace: tr, Warmup: p.Warmup})
+			if err != nil {
+				return nil, err
+			}
+			oracleXs = append(oracleXs, ro.Blocking())
+			adaptiveXs = append(adaptiveXs, ra.Blocking())
+			singleXs = append(singleXs, rs.Blocking())
+		}
+		pt.Oracle = stats.Summarize(oracleXs)
+		pt.Adaptive = stats.Summarize(adaptiveXs)
+		pt.SinglePath = stats.Summarize(singleXs)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderRobustness prints the study.
+func RenderRobustness(points []RobustnessPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Online Λ estimation vs a-priori Λ (controlled alternate routing, NSFNet)\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %14s\n", "load", "oracle", "adaptive", "single-path")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-8.3g %14.5f %14.5f %14.5f\n",
+			pt.Load, pt.Oracle.Mean, pt.Adaptive.Mean, pt.SinglePath.Mean)
+	}
+	return b.String()
+}
+
+// SignalingPoint compares instantaneous admission against explicit
+// two-phase set-up at increasing per-hop latencies.
+type SignalingPoint struct {
+	HopDelay        float64
+	Blocking        stats.Summary
+	MeanSetupRTT    float64
+	BookingFailures int64
+}
+
+// Signaling runs controlled alternate routing on NSFNet at nominal load
+// under the hop-by-hop set-up mechanism of §1 for each latency value.
+// delay 0 reproduces the instantaneous results.
+func Signaling(delays []float64, h int, p SimParams) ([]SignalingPoint, error) {
+	if delays == nil {
+		delays = []float64{0, 0.001, 0.01, 0.05}
+	}
+	if h <= 0 {
+		h = 11
+	}
+	p = p.withDefaults()
+	g := netmodel.NSFNet()
+	nominal, err := nsfnetNominal()
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.New(g, nominal, core.Options{H: h})
+	if err != nil {
+		return nil, err
+	}
+	controlled := scheme.Controlled()
+	var out []SignalingPoint
+	for _, d := range delays {
+		pt := SignalingPoint{HopDelay: d}
+		var xs []float64
+		var rttSum float64
+		var accepted int64
+		for seed := 0; seed < p.Seeds; seed++ {
+			tr := sim.GenerateTrace(nominal, p.Horizon, int64(seed))
+			res, err := sim.RunSignaling(sim.SignalingConfig{
+				Config:   sim.Config{Graph: g, Policy: controlled, Trace: tr, Warmup: p.Warmup},
+				HopDelay: d,
+			})
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, res.Blocking())
+			rttSum += res.SetupRTTSum
+			accepted += res.Accepted
+			pt.BookingFailures += res.BookingFailures
+		}
+		pt.Blocking = stats.Summarize(xs)
+		if accepted > 0 {
+			pt.MeanSetupRTT = rttSum / float64(accepted)
+		}
+		out = append(out, pt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].HopDelay < out[j].HopDelay })
+	return out, nil
+}
+
+// RenderSignaling prints the study.
+func RenderSignaling(points []SignalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Two-phase call set-up latency study (controlled routing, NSFNet nominal)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %16s\n", "hop delay", "blocking", "mean RTT", "booking races")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-10.4g %12.5f %12.5f %16d\n",
+			pt.HopDelay, pt.Blocking.Mean, pt.MeanSetupRTT, pt.BookingFailures)
+	}
+	return b.String()
+}

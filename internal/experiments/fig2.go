@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/erlang"
+)
+
+// Fig2Curve is one H-curve of the paper's Figure 2: the state-protection
+// level r as a function of the primary load Λ for a C=100 link.
+type Fig2Curve struct {
+	H     int
+	Loads []float64
+	R     []int
+}
+
+// Fig2Result regenerates Figure 2: r^k versus Λ^k for C^k = 100 and
+// H ∈ {2, 6, 120} (the paper's curves), on a 1-Erlang grid over (0, C].
+type Fig2Result struct {
+	Capacity int
+	Curves   []Fig2Curve
+}
+
+// Fig2 computes the figure. hs defaults to the paper's {2, 6, 120}; capacity
+// defaults to 100.
+func Fig2(capacity int, hs []int) *Fig2Result {
+	if capacity <= 0 {
+		capacity = 100
+	}
+	if len(hs) == 0 {
+		hs = []int{2, 6, 120}
+	}
+	res := &Fig2Result{Capacity: capacity}
+	for _, h := range hs {
+		curve := Fig2Curve{H: h}
+		for l := 1; l <= capacity; l++ {
+			load := float64(l)
+			curve.Loads = append(curve.Loads, load)
+			curve.R = append(curve.R, erlang.ProtectionLevel(load, capacity, h))
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	return res
+}
+
+// String renders the figure as a table: one row per load, one column per H.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: state-protection level r vs primary load Λ (C=%d)\n", r.Capacity)
+	fmt.Fprintf(&b, "%-8s", "Λ")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, " r(H=%d)", c.H)
+	}
+	fmt.Fprintln(&b)
+	if len(r.Curves) == 0 {
+		return b.String()
+	}
+	for i := range r.Curves[0].Loads {
+		fmt.Fprintf(&b, "%-8.0f", r.Curves[0].Loads[i])
+		for _, c := range r.Curves {
+			fmt.Fprintf(&b, " %6d", c.R[i])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// randomScenario builds a random connected duplex topology and a random
+// traffic matrix, both deterministic in seed.
+func randomScenario(t *testing.T, seed int64) (*graph.Graph, *traffic.Matrix) {
+	t.Helper()
+	r := xrand.New(seed, 555)
+	n := 4 + r.Intn(4) // 4..7 nodes
+	g := graph.New()
+	g.AddNodes(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		a := graph.NodeID(perm[i])
+		b := graph.NodeID(perm[r.Intn(i)])
+		if _, _, err := g.AddDuplex(a, b, 5+r.Intn(20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < n; e++ {
+		a := graph.NodeID(r.Intn(n))
+		b := graph.NodeID(r.Intn(n))
+		if a == b || g.LinkBetween(a, b) != graph.InvalidLink {
+			continue
+		}
+		if _, _, err := g.AddDuplex(a, b, 5+r.Intn(20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := traffic.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && r.Float64() < 0.8 {
+				m.SetDemand(graph.NodeID(i), graph.NodeID(j), 1+r.Float64()*12)
+			}
+		}
+	}
+	return g, m
+}
+
+// TestRandomTopologyInvariants fuzzes the full pipeline: scheme derivation,
+// all four policies, simulation, and the core invariants — conservation,
+// determinism, capacity safety (Occupy panics on violation), and the
+// controlled >= single-path guarantee with statistical slack.
+func TestRandomTopologyInvariants(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g, m := randomScenario(t, seed)
+		if m.Total() == 0 {
+			continue
+		}
+		scheme, err := core.New(g, m, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		okPol, err := scheme.OttKrishnan()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := sim.GenerateTrace(m, 60, seed)
+		var accSingle, accCtrl int64
+		for _, pol := range []sim.Policy{
+			scheme.SinglePath(), scheme.Uncontrolled(), scheme.Controlled(), okPol,
+		} {
+			res, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: 10})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, pol.Name(), err)
+			}
+			if res.Offered != res.Accepted+res.Blocked {
+				t.Fatalf("seed %d %s: conservation violated", seed, pol.Name())
+			}
+			if res.Accepted != res.PrimaryAccepted+res.AlternateAccepted {
+				t.Fatalf("seed %d %s: acceptance split violated", seed, pol.Name())
+			}
+			// Determinism: replaying must reproduce the exact counters.
+			res2, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res2.Accepted != res.Accepted || res2.Blocked != res.Blocked {
+				t.Fatalf("seed %d %s: nondeterministic run", seed, pol.Name())
+			}
+			switch pol.Name() {
+			case "single-path":
+				accSingle = res.Accepted
+			case "controlled-alternate":
+				accCtrl = res.Accepted
+			}
+			// Per-link utilization can never exceed capacity.
+			for id, util := range res.LinkTimeUtil {
+				if util > float64(g.Link(graph.LinkID(id)).Capacity)+1e-9 {
+					t.Fatalf("seed %d %s: link %d utilization %v exceeds capacity",
+						seed, pol.Name(), id, util)
+				}
+			}
+		}
+		// Guarantee with slack (one seed, so allow 1% of offered).
+		if slack := accSingle / 100; accCtrl+slack < accSingle {
+			t.Errorf("seed %d: controlled accepted %d << single-path %d", seed, accCtrl, accSingle)
+		}
+	}
+}
+
+// TestRandomTopologySignalingEquivalence checks the zero-delay signaling
+// runner against the instantaneous runner across random scenarios for the
+// controlled policy (the only one with a nontrivial attempt sequence and
+// protection rule).
+func TestRandomTopologySignalingEquivalence(t *testing.T) {
+	for seed := int64(20); seed < 28; seed++ {
+		g, m := randomScenario(t, seed)
+		if m.Total() == 0 {
+			continue
+		}
+		scheme, err := core.New(g, m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := sim.GenerateTrace(m, 40, seed)
+		pol := scheme.Controlled()
+		want, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.RunSignaling(sim.SignalingConfig{
+			Config: sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Accepted != want.Accepted || got.Blocked != want.Blocked ||
+			got.AlternateAccepted != want.AlternateAccepted {
+			t.Errorf("seed %d: signaling (%d/%d/%d) != instantaneous (%d/%d/%d)",
+				seed, got.Accepted, got.Blocked, got.AlternateAccepted,
+				want.Accepted, want.Blocked, want.AlternateAccepted)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"repro/internal/netmodel"
+	"repro/internal/traffic"
+)
+
+// DefaultQuadrangleLoads is the offered-load grid (Erlangs per O-D pair =
+// per-link primary Erlangs) spanning the interesting region of Figures 3
+// and 4: uncontrolled alternate routing excels below ≈85 E and collapses
+// above; single-path crosses it around 90 E.
+var DefaultQuadrangleLoads = []float64{60, 65, 70, 75, 80, 85, 90, 95, 100, 105, 110}
+
+// Quadrangle regenerates Figures 3 and 4 (same data; the paper plots linear
+// and log axes): network blocking versus offered load on the fully-connected
+// symmetric 4-node network, for single-path, uncontrolled and controlled
+// alternate routing, with the Erlang bound. loads nil means
+// DefaultQuadrangleLoads; H=0 means unlimited (N−1=3).
+func Quadrangle(loads []float64, h int, p SimParams) (*Sweep, error) {
+	if loads == nil {
+		loads = DefaultQuadrangleLoads
+	}
+	g := netmodel.Quadrangle()
+	sweep, err := BlockingSweep(g, loads, h,
+		func(x float64) *traffic.Matrix { return traffic.Uniform(4, x) },
+		threePolicies, p)
+	if err != nil {
+		return nil, err
+	}
+	sweep.Title = "Figures 3/4: blocking vs offered load, fully-connected quadrangle (C=100)"
+	sweep.XLabel = "Erlangs"
+	return sweep, nil
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReportOptions selects what the markdown report includes.
+type ReportOptions struct {
+	// Sim parameters for the simulated sections.
+	Sim SimParams
+	// IncludeExtensions adds the beyond-the-paper studies (slower).
+	IncludeExtensions bool
+	// Timestamp is printed in the header when non-zero (passed in rather
+	// than read from the clock, keeping report generation deterministic for
+	// tests).
+	Timestamp time.Time
+}
+
+// WriteReport generates a self-contained markdown report of the
+// reproduction: Table 1, the path census, and the main sweeps, optionally
+// followed by the extension studies. It is the programmatic equivalent of
+// running the cmd/altsim subcommands and pasting their output, with
+// markdown tables instead of aligned text.
+func WriteReport(w io.Writer, opts ReportOptions) error {
+	p := opts.Sim.withDefaults()
+	pr := func(format string, args ...interface{}) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := pr("# Controlled Alternate Routing — reproduction report\n\n"); err != nil {
+		return err
+	}
+	if !opts.Timestamp.IsZero() {
+		if err := pr("Generated %s. ", opts.Timestamp.Format(time.RFC3339)); err != nil {
+			return err
+		}
+	}
+	if err := pr("Settings: %d seeds, warm-up %g, horizon %g.\n\n", p.Seeds, p.Warmup, p.Horizon); err != nil {
+		return err
+	}
+
+	// Table 1.
+	tbl, err := Table1()
+	if err != nil {
+		return err
+	}
+	if err := pr("## Table 1 — NSFNet loads and protection levels\n\n"); err != nil {
+		return err
+	}
+	if err := pr("| link | C | Λ (paper) | Λ (fit) | r H=6 (ours/paper) | r H=11 (ours/paper) |\n|---|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, row := range tbl.Rows {
+		if err := pr("| %d→%d | %d | %.0f | %.2f | %d/%d | %d/%d |\n",
+			row.From, row.To, row.Capacity, row.PaperLoad, row.FittedLoad,
+			row.ComputedR6, row.PaperR6, row.ComputedR11, row.PaperR11); err != nil {
+			return err
+		}
+	}
+	if err := pr("\nExact matches: H=6 %d/30, H=11 %d/30; max |ΔΛ| = %.2g.\n\n",
+		tbl.ExactR6, tbl.ExactR11, tbl.MaxLoadError); err != nil {
+		return err
+	}
+
+	// Census.
+	for _, h := range []int{11, 6} {
+		c, err := CensusNSFNet(h)
+		if err != nil {
+			return err
+		}
+		if err := pr("- %s\n", c); err != nil {
+			return err
+		}
+	}
+	if err := pr("\n"); err != nil {
+		return err
+	}
+
+	// Sweeps.
+	sweeps := []struct {
+		title string
+		run   func() (*Sweep, error)
+	}{
+		{"Figures 3/4 — quadrangle", func() (*Sweep, error) { return Quadrangle(nil, 0, p) }},
+		{"Figures 6/7 — NSFNet (H=11)", func() (*Sweep, error) { return NSFNetSweep(nil, 11, opts.IncludeExtensions, p) }},
+	}
+	for _, s := range sweeps {
+		sweep, err := s.run()
+		if err != nil {
+			return err
+		}
+		if err := pr("## %s\n\n", s.title); err != nil {
+			return err
+		}
+		if err := writeSweepMarkdown(w, sweep); err != nil {
+			return err
+		}
+	}
+
+	if !opts.IncludeExtensions {
+		return nil
+	}
+	if err := pr("## Extensions\n\n"); err != nil {
+		return err
+	}
+	ext := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"fixed point", func() (string, error) {
+			pts, err := FixedPointStudy(nil, p)
+			if err != nil {
+				return "", err
+			}
+			return RenderFixedPoint(pts), nil
+		}},
+		{"robustness", func() (string, error) {
+			pts, err := Robustness(nil, 11, p)
+			if err != nil {
+				return "", err
+			}
+			return RenderRobustness(pts), nil
+		}},
+		{"insensitivity", func() (string, error) {
+			pts, err := Insensitivity(11, p)
+			if err != nil {
+				return "", err
+			}
+			return RenderInsensitivity(pts), nil
+		}},
+	}
+	for _, e := range ext {
+		text, err := e.run()
+		if err != nil {
+			return fmt.Errorf("experiments: report %s: %w", e.name, err)
+		}
+		if err := pr("```\n%s```\n\n", text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSweepMarkdown renders a sweep as a markdown table.
+func writeSweepMarkdown(w io.Writer, s *Sweep) error {
+	if len(s.Series) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "| %s |", s.XLabel); err != nil {
+		return err
+	}
+	for _, ser := range s.Series {
+		if _, err := fmt.Fprintf(w, " %s |", ser.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "\n|"); err != nil {
+		return err
+	}
+	for range s.Series {
+		if _, err := fmt.Fprint(w, "---|"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "---|\n"); err != nil {
+		return err
+	}
+	for i := range s.Series[0].Points {
+		if _, err := fmt.Fprintf(w, "| %.4g |", s.Series[0].Points[i].X); err != nil {
+			return err
+		}
+		for _, ser := range s.Series {
+			if _, err := fmt.Fprintf(w, " %.5f |", ser.Points[i].Y); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

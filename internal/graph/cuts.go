@@ -1,0 +1,59 @@
+package graph
+
+// Cut describes a bipartition (S, S̄) of the node set by membership mask:
+// bit i of Mask is set iff node i ∈ S. Used by the Erlang-bound computation,
+// which maximizes a blocking expression over all cut sets (paper §4).
+type Cut struct {
+	Mask uint64
+}
+
+// Contains reports whether node n is on the S side of the cut.
+func (c Cut) Contains(n NodeID) bool { return c.Mask&(1<<uint(n)) != 0 }
+
+// ForEachCut invokes fn for every nonempty proper subset S of the node set.
+// To halve work it only enumerates subsets containing node 0; the Erlang
+// bound expression is symmetric in (S, S̄) because it sums both crossing
+// directions, so this covers every bipartition exactly once. ForEachCut
+// panics if the graph has more than 63 nodes (the paper's networks have at
+// most 12).
+//
+// fn may return false to stop early; ForEachCut reports whether enumeration
+// ran to completion.
+func (g *Graph) ForEachCut(fn func(Cut) bool) bool {
+	n := g.NumNodes()
+	if n > 63 {
+		panic("graph: cut enumeration limited to 63 nodes")
+	}
+	if n < 2 {
+		return true
+	}
+	// Subsets of {1..n−1} unioned with {0}; skip the full set (improper).
+	rest := n - 1
+	full := uint64(1)<<uint(rest) - 1
+	for bits := uint64(0); bits < full; bits++ {
+		mask := bits<<1 | 1
+		if !fn(Cut{Mask: mask}) {
+			return false
+		}
+	}
+	return true
+}
+
+// CrossingCapacity returns the total capacity of up links from S to S̄
+// (forward) and from S̄ to S (backward).
+func (g *Graph) CrossingCapacity(c Cut) (forward, backward int) {
+	for _, l := range g.links {
+		if l.Down {
+			continue
+		}
+		fromIn := c.Contains(l.From)
+		toIn := c.Contains(l.To)
+		switch {
+		case fromIn && !toIn:
+			forward += l.Capacity
+		case !fromIn && toIn:
+			backward += l.Capacity
+		}
+	}
+	return forward, backward
+}

@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT syntax. Duplex pairs collapse
+// to a single undirected-looking edge when their capacities match
+// (dir=both); asymmetric or one-way links stay directed. Down links render
+// dashed red. labelLinks adds capacity labels.
+func (g *Graph) WriteDOT(w io.Writer, name string, labelLinks bool) error {
+	if name == "" {
+		name = "network"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q];\n", i, g.NodeName(NodeID(i))); err != nil {
+			return err
+		}
+	}
+	emitted := make(map[LinkID]bool, g.NumLinks())
+	for _, l := range g.links {
+		if emitted[l.ID] {
+			continue
+		}
+		attrs := ""
+		if labelLinks {
+			attrs = fmt.Sprintf(" label=\"%d\"", l.Capacity)
+		}
+		style := ""
+		revID := g.LinkBetween(l.To, l.From)
+		if revID != InvalidLink {
+			rev := g.Link(revID)
+			if rev.Capacity == l.Capacity && rev.Down == l.Down {
+				// Collapse the duplex pair.
+				emitted[revID] = true
+				style = " dir=both"
+			}
+		}
+		if l.Down {
+			style += " style=dashed color=red"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [%s%s];\n", l.From, l.To, attrs, style); err != nil {
+			return err
+		}
+		emitted[l.ID] = true
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	for _, pair := range [][2]NodeID{{a, b}, {b, c}, {a, c}} {
+		if _, _, err := g.AddDuplex(pair[0], pair[1], 10); err != nil {
+			t.Fatalf("AddDuplex(%v): %v", pair, err)
+		}
+	}
+	return g
+}
+
+func TestAddNodesAndLinks(t *testing.T) {
+	g := buildTriangle(t)
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumLinks() != 6 {
+		t.Errorf("NumLinks = %d, want 6", g.NumLinks())
+	}
+	if name := g.NodeName(1); name != "b" {
+		t.Errorf("NodeName(1) = %q, want b", name)
+	}
+	if name := g.NodeName(99); name == "b" {
+		t.Errorf("NodeName(99) should be invalid placeholder, got %q", name)
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if _, err := g.AddLink(a, a, 1); err == nil {
+		t.Error("self-loop: want error")
+	}
+	if _, err := g.AddLink(a, NodeID(9), 1); err == nil {
+		t.Error("bad node: want error")
+	}
+	if _, err := g.AddLink(a, b, -1); err == nil {
+		t.Error("negative capacity: want error")
+	}
+	if _, err := g.AddLink(a, b, 5); err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	if _, err := g.AddLink(a, b, 5); err == nil {
+		t.Error("duplicate link: want error")
+	}
+	// Reverse direction is distinct, not a duplicate.
+	if _, err := g.AddLink(b, a, 5); err != nil {
+		t.Errorf("reverse link: %v", err)
+	}
+}
+
+func TestMustAddLinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddLink on self-loop: expected panic")
+		}
+	}()
+	g := New()
+	a := g.AddNode("a")
+	g.MustAddLink(a, a, 1)
+}
+
+func TestLinkBetweenAndAdjacency(t *testing.T) {
+	g := buildTriangle(t)
+	id := g.LinkBetween(0, 2)
+	if id == InvalidLink {
+		t.Fatal("LinkBetween(0,2) = invalid")
+	}
+	l := g.Link(id)
+	if l.From != 0 || l.To != 2 || l.Capacity != 10 {
+		t.Errorf("Link(%d) = %+v", id, l)
+	}
+	if g.LinkBetween(2, 0) == id {
+		t.Error("reverse direction must be a different link")
+	}
+	if got := g.LinkBetween(0, 0); got != InvalidLink {
+		t.Errorf("LinkBetween(0,0) = %d, want invalid", got)
+	}
+	if nbrs := g.Neighbors(0); len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 2 {
+		t.Errorf("Neighbors(0) = %v, want [1 2]", nbrs)
+	}
+	if got := len(g.Out(0)); got != 2 {
+		t.Errorf("len(Out(0)) = %d, want 2", got)
+	}
+	if got := len(g.In(0)); got != 2 {
+		t.Errorf("len(In(0)) = %d, want 2", got)
+	}
+}
+
+func TestDownLinks(t *testing.T) {
+	g := buildTriangle(t)
+	if err := g.SetDuplexDown(0, 1, true); err != nil {
+		t.Fatalf("SetDuplexDown: %v", err)
+	}
+	if g.Up(g.LinkBetween(0, 1)) || g.Up(g.LinkBetween(1, 0)) {
+		t.Error("links 0↔1 should be down")
+	}
+	if nbrs := g.Neighbors(0); len(nbrs) != 1 || nbrs[0] != 2 {
+		t.Errorf("Neighbors(0) with 0↔1 down = %v, want [2]", nbrs)
+	}
+	if !g.Connected() {
+		t.Error("triangle minus one duplex edge is still strongly connected")
+	}
+	if err := g.SetDuplexDown(0, 2, true); err != nil {
+		t.Fatalf("SetDuplexDown: %v", err)
+	}
+	if g.Connected() {
+		t.Error("isolating node 0 must break connectivity")
+	}
+	if err := g.SetDuplexDown(0, 1, false); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !g.Up(g.LinkBetween(0, 1)) {
+		t.Error("restored link should be up")
+	}
+	if err := g.SetDuplexDown(1, 1, true); err == nil {
+		t.Error("SetDuplexDown on missing pair: want error")
+	}
+}
+
+func TestUpOutOfRange(t *testing.T) {
+	g := buildTriangle(t)
+	if g.Up(InvalidLink) {
+		t.Error("Up(InvalidLink) = true")
+	}
+	if g.Up(LinkID(99)) {
+		t.Error("Up(99) = true")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildTriangle(t)
+	c := g.Clone()
+	c.SetDown(0, true)
+	if g.Link(0).Down {
+		t.Error("mutating clone affected original")
+	}
+	d := c.AddNode("d")
+	if _, err := c.AddLink(d, 0, 3); err != nil {
+		t.Fatalf("AddLink on clone: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumLinks() != 6 {
+		t.Error("growing clone affected original")
+	}
+	if c.LinkBetween(d, 0) == InvalidLink {
+		t.Error("clone byPair map not functional after Clone")
+	}
+}
+
+func TestConnectedTrivial(t *testing.T) {
+	g := New()
+	if !g.Connected() {
+		t.Error("empty graph is vacuously connected")
+	}
+	g.AddNode("solo")
+	if !g.Connected() {
+		t.Error("single node is connected")
+	}
+	g.AddNode("other")
+	if g.Connected() {
+		t.Error("two isolated nodes are not connected")
+	}
+}
+
+func TestForEachCutCountsBipartitions(t *testing.T) {
+	// A graph on n nodes has 2^(n−1) − 1 bipartitions into nonempty (S, S̄).
+	for _, n := range []int{2, 3, 4, 5, 12} {
+		g := New()
+		g.AddNodes(n)
+		count := 0
+		completed := g.ForEachCut(func(c Cut) bool {
+			if !c.Contains(0) {
+				t.Fatalf("cut %b does not contain node 0", c.Mask)
+			}
+			count++
+			return true
+		})
+		if !completed {
+			t.Fatal("enumeration stopped early")
+		}
+		want := 1<<uint(n-1) - 1
+		if count != want {
+			t.Errorf("n=%d: %d cuts, want %d", n, count, want)
+		}
+	}
+}
+
+func TestForEachCutEarlyStop(t *testing.T) {
+	g := New()
+	g.AddNodes(5)
+	count := 0
+	completed := g.ForEachCut(func(Cut) bool {
+		count++
+		return count < 3
+	})
+	if completed || count != 3 {
+		t.Errorf("early stop: completed=%v count=%d", completed, count)
+	}
+}
+
+func TestCrossingCapacity(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustAddLink(a, b, 5)
+	g.MustAddLink(b, a, 7)
+	g.MustAddLink(b, c, 11)
+	cut := Cut{Mask: 1} // S = {a}
+	fwd, bwd := g.CrossingCapacity(cut)
+	if fwd != 5 || bwd != 7 {
+		t.Errorf("cut {a}: forward %d backward %d, want 5, 7", fwd, bwd)
+	}
+	g.SetDown(g.LinkBetween(a, b), true)
+	fwd, bwd = g.CrossingCapacity(cut)
+	if fwd != 0 || bwd != 7 {
+		t.Errorf("cut {a} with a→b down: forward %d backward %d, want 0, 7", fwd, bwd)
+	}
+}
+
+func TestCrossingCapacityConservation(t *testing.T) {
+	// Property: for every cut of a duplex graph with symmetric capacities,
+	// forward == backward crossing capacity.
+	g := buildTriangle(t)
+	ok := func(mask uint8) bool {
+		cut := Cut{Mask: uint64(mask%7) + 1} // some nonempty subset of 3 nodes
+		fwd, bwd := g.CrossingCapacity(cut)
+		return fwd == bwd
+	}
+	if err := quick.Check(ok, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := buildTriangle(t)
+	g.SetDown(g.LinkBetween(0, 1), true)
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, "", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "digraph \"network\"") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "label=\"10\"") {
+		t.Error("missing capacity label")
+	}
+	// The asymmetric-state pair 0↔1 (one side down) must stay as two
+	// directed edges; 1↔2 collapses to dir=both.
+	if !strings.Contains(out, "dir=both") {
+		t.Error("no collapsed duplex edge")
+	}
+	if !strings.Contains(out, "style=dashed color=red") {
+		t.Error("down link not styled")
+	}
+	if c := strings.Count(out, "->"); c != 4 {
+		t.Errorf("edges rendered: %d, want 4 (two collapsed + two split)", c)
+	}
+}

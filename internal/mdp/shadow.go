@@ -1,0 +1,96 @@
+// Package mdp computes per-link shadow prices for the Ott–Krishnan
+// separable state-dependent routing scheme, the comparator the paper reports
+// performing poorly on the sparse NSFNet model (§4.2.2).
+//
+// For an M/M/C/C link offered state-independent Poisson traffic of intensity
+// ν (unit mean holding), the shadow price p(s) is the expected increase in
+// the number of future calls lost on the link caused by admitting one extra
+// call when s calls are in progress. It is the bias difference
+// h(s+1) − h(s) of the average-cost Markov decision problem whose cost is
+// one per lost call, and satisfies a closed two-term recursion derived from
+// the Poisson (average-cost balance) equation:
+//
+//	p(0)   = B(ν, C)                      (g/ν with g = ν·B the loss rate)
+//	p(s)   = B(ν, C) + (s/ν)·p(s−1)       for 1 <= s <= C−1
+//
+// with the consistency boundary p(C−1) = ν(1 − B(ν, C))/C.
+package mdp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/erlang"
+)
+
+// ShadowPrices returns the vector p(0..C−1) of link shadow prices for an
+// M/M/C/C link with offered load (Erlangs, unit holding). p[s] prices the
+// admission of a call when the occupancy is s. load must be > 0 and
+// capacity >= 1.
+func ShadowPrices(load float64, capacity int) []float64 {
+	if capacity < 1 {
+		panic(fmt.Errorf("mdp: capacity %d", capacity))
+	}
+	if load <= 0 || math.IsNaN(load) || math.IsInf(load, 0) {
+		panic(fmt.Errorf("mdp: load %v", load))
+	}
+	b := erlang.B(load, capacity)
+	p := make([]float64, capacity)
+	p[0] = b
+	for s := 1; s < capacity; s++ {
+		p[s] = b + float64(s)/load*p[s-1]
+	}
+	return p
+}
+
+// LossRate returns g = ν·B(ν, C), the long-run rate of lost calls on the
+// link, which is the average cost of the underlying decision problem.
+func LossRate(load float64, capacity int) float64 {
+	return load * erlang.B(load, capacity)
+}
+
+// ShadowPricesByValueIteration computes the same prices numerically by
+// relative value iteration on the uniformized chain, for cross-validation in
+// tests and for experimenting with non-standard cost structures. iters
+// controls the iteration count; a few thousand suffice at paper scales.
+func ShadowPricesByValueIteration(load float64, capacity, iters int) []float64 {
+	if capacity < 1 || load <= 0 {
+		panic(fmt.Errorf("mdp: invalid load %v or capacity %d", load, capacity))
+	}
+	// Uniformization constant: max total rate.
+	u := load + float64(capacity) + 1
+	h := make([]float64, capacity+1)
+	next := make([]float64, capacity+1)
+	for it := 0; it < iters; it++ {
+		for s := 0; s <= capacity; s++ {
+			v := 0.0
+			stay := u
+			if s < capacity {
+				v += load * h[s+1]
+				stay -= load
+			} else {
+				// Arrivals in the full state are lost: incur unit cost and
+				// remain.
+				v += load * (1 + h[s])
+				stay -= load
+			}
+			if s > 0 {
+				v += float64(s) * h[s-1]
+				stay -= float64(s)
+			}
+			v += stay * h[s]
+			next[s] = v / u
+		}
+		// Renormalize against state 0 to keep the relative values bounded.
+		base := next[0]
+		for s := range next {
+			next[s] -= base
+		}
+		h, next = next, h
+	}
+	p := make([]float64, capacity)
+	for s := 0; s < capacity; s++ {
+		p[s] = h[s+1] - h[s]
+	}
+	return p
+}

@@ -1,0 +1,88 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/erlang"
+)
+
+func TestShadowPricesBoundaryConsistency(t *testing.T) {
+	// The downward boundary p(C−1) = ν(1−B)/C must agree with the upward
+	// recursion — a strong whole-vector consistency check.
+	for _, load := range []float64{5, 42, 74, 103, 167} {
+		for _, c := range []int{1, 10, 100} {
+			p := ShadowPrices(load, c)
+			b := erlang.B(load, c)
+			want := load * (1 - b) / float64(c)
+			if got := p[c-1]; math.Abs(got-want) > 1e-9*math.Max(want, 1) {
+				t.Errorf("ν=%v C=%d: p(C−1) = %v, want %v", load, c, got, want)
+			}
+		}
+	}
+}
+
+func TestShadowPricesMonotoneIncreasing(t *testing.T) {
+	// A busier link is costlier to occupy.
+	for _, load := range []float64{10, 74, 120} {
+		p := ShadowPrices(load, 100)
+		for s := 1; s < len(p); s++ {
+			if p[s] < p[s-1]-1e-12 {
+				t.Errorf("ν=%v: p(%d)=%v < p(%d)=%v", load, s, p[s], s-1, p[s-1])
+			}
+		}
+		if p[0] != erlang.B(load, 100) {
+			t.Errorf("ν=%v: p(0)=%v, want B=%v", load, p[0], erlang.B(load, 100))
+		}
+	}
+}
+
+func TestShadowPricesBelowUnitRevenue(t *testing.T) {
+	// For an underloaded link the price of one extra call never exceeds the
+	// unit revenue: p(C−1) = ν(1−B)/C < 1 whenever ν(1−B) < C (carried load
+	// below capacity, always true).
+	for _, load := range []float64{10, 74, 99, 150, 300} {
+		p := ShadowPrices(load, 100)
+		if p[99] >= 1 {
+			t.Errorf("ν=%v: p(99)=%v >= 1 (carried load cannot exceed capacity)", load, p[99])
+		}
+	}
+}
+
+func TestShadowPricesMatchValueIteration(t *testing.T) {
+	for _, tc := range []struct {
+		load float64
+		c    int
+	}{{3, 5}, {8, 10}, {20, 25}} {
+		exact := ShadowPrices(tc.load, tc.c)
+		vi := ShadowPricesByValueIteration(tc.load, tc.c, 200000)
+		for s := range exact {
+			if math.Abs(exact[s]-vi[s]) > 5e-4 {
+				t.Errorf("ν=%v C=%d s=%d: recursion %v vs VI %v", tc.load, tc.c, s, exact[s], vi[s])
+			}
+		}
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	got := LossRate(74, 100)
+	want := 74 * erlang.B(74, 100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("LossRate = %v, want %v", got, want)
+	}
+}
+
+func TestShadowPricesPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero load", func() { ShadowPrices(0, 10) })
+	mustPanic("zero capacity", func() { ShadowPrices(1, 0) })
+	mustPanic("VI bad args", func() { ShadowPricesByValueIteration(-1, 10, 10) })
+}

@@ -1,0 +1,36 @@
+package multirate_test
+
+import (
+	"fmt"
+
+	"repro/internal/multirate"
+)
+
+// Per-class blocking of a 100-unit link shared by narrow voice and wide
+// video calls: the 6-unit class suffers far more (it needs 6 free units).
+func ExampleClassBlocking() {
+	blocking, err := multirate.ClassBlocking([]multirate.ClassLoad{
+		{Erlangs: 60, Bandwidth: 1},
+		{Erlangs: 5, Bandwidth: 6},
+	}, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("voice %.4f video %.4f\n", blocking[0], blocking[1])
+	// Output:
+	// voice 0.0253 video 0.1682
+}
+
+// The multi-class protection rule coincides with the paper's Equation 15
+// when there is a single unit-bandwidth class.
+func ExampleProtectionLevel() {
+	r, err := multirate.ProtectionLevel([]multirate.ClassLoad{
+		{Erlangs: 74, Bandwidth: 1},
+	}, 100, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r)
+	// Output:
+	// 7
+}

@@ -1,0 +1,149 @@
+// Package multirate extends the controlled alternate-routing scheme to
+// multiple call classes with heterogeneous bandwidths — the support the
+// paper explicitly defers ("In this preliminary study we do not address the
+// support of multiple call types", §1). It provides the Kaufman–Roberts
+// occupancy recursion for multi-rate links (the multi-class analogue of
+// Erlang-B), per-class link demands, a conservative multi-rate
+// generalization of the Equation-15 protection rule, and a call-by-call
+// simulator with bandwidth-aware admission.
+package multirate
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClassLoad is one traffic class offered to a link: Erlangs of calls each
+// demanding Bandwidth capacity units (unit mean holding time).
+type ClassLoad struct {
+	Erlangs   float64
+	Bandwidth int
+}
+
+// OccupancyDistribution returns the stationary distribution q(0..C) of the
+// total occupied bandwidth of a complete-sharing link offered the given
+// independent Poisson classes, via the Kaufman–Roberts recursion
+//
+//	n·q(n) = Σ_j a_j·b_j·q(n − b_j),  q(n<0)=0,
+//
+// normalized to sum to one. The recursion is exact for Poisson arrivals and
+// any holding-time distribution (insensitivity).
+func OccupancyDistribution(classes []ClassLoad, capacity int) ([]float64, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("multirate: capacity %d", capacity)
+	}
+	for i, c := range classes {
+		if c.Erlangs < 0 || math.IsNaN(c.Erlangs) || math.IsInf(c.Erlangs, 0) {
+			return nil, fmt.Errorf("multirate: class %d erlangs %v", i, c.Erlangs)
+		}
+		if c.Bandwidth < 1 {
+			return nil, fmt.Errorf("multirate: class %d bandwidth %d", i, c.Bandwidth)
+		}
+	}
+	q := make([]float64, capacity+1)
+	q[0] = 1
+	for n := 1; n <= capacity; n++ {
+		acc := 0.0
+		for _, c := range classes {
+			if n-c.Bandwidth >= 0 {
+				acc += c.Erlangs * float64(c.Bandwidth) * q[n-c.Bandwidth]
+			}
+		}
+		q[n] = acc / float64(n)
+		// Renormalize on the fly to avoid overflow at large capacities.
+		if q[n] > 1e290 {
+			for i := 0; i <= n; i++ {
+				q[i] /= 1e290
+			}
+		}
+	}
+	sum := 0.0
+	for _, v := range q {
+		sum += v
+	}
+	if sum == 0 {
+		q[0] = 1
+		return q, nil
+	}
+	for i := range q {
+		q[i] /= sum
+	}
+	return q, nil
+}
+
+// ClassBlocking returns, per class, the stationary probability an arriving
+// class-j call is blocked: Σ_{n > C−b_j} q(n) (PASTA).
+func ClassBlocking(classes []ClassLoad, capacity int) ([]float64, error) {
+	q, err := OccupancyDistribution(classes, capacity)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(classes))
+	for j, c := range classes {
+		tail := 0.0
+		for n := capacity - c.Bandwidth + 1; n <= capacity; n++ {
+			if n >= 0 {
+				tail += q[n]
+			}
+		}
+		out[j] = tail
+	}
+	return out, nil
+}
+
+// ProtectionLevel returns the smallest state-protection level r (in
+// bandwidth units) such that for every class j,
+//
+//	B_j(C) / B_j(C − r) <= 1/H,
+//
+// where B_j is the Kaufman–Roberts blocking of class j at the given
+// capacity. This is the natural conservative generalization of the paper's
+// Equation 15: each class's displacement bound is controlled separately and
+// the largest requirement wins. If no r ≤ C satisfies the condition (some
+// class's blocking exceeds 1/H even with full protection), it returns C.
+func ProtectionLevel(classes []ClassLoad, capacity, maxHops int) (int, error) {
+	if maxHops < 1 {
+		return 0, fmt.Errorf("multirate: maxHops %d", maxHops)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("multirate: capacity %d", capacity)
+	}
+	active := false
+	for _, c := range classes {
+		if c.Erlangs > 0 {
+			active = true
+		}
+	}
+	if !active || capacity == 0 {
+		return 0, nil
+	}
+	target := 1 / float64(maxHops)
+	full, err := ClassBlocking(classes, capacity)
+	if err != nil {
+		return 0, err
+	}
+	for r := 0; r <= capacity; r++ {
+		reduced, err := ClassBlocking(classes, capacity-r)
+		if err != nil {
+			return 0, err
+		}
+		ok := true
+		for j := range classes {
+			if classes[j].Erlangs == 0 {
+				continue
+			}
+			if reduced[j] <= 0 {
+				ok = false
+				break
+			}
+			if full[j]/reduced[j] > target {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r, nil
+		}
+	}
+	return capacity, nil
+}

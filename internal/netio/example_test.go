@@ -1,0 +1,38 @@
+package netio_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netio"
+)
+
+// A minimal scenario document: three nodes, duplex facilities, two demands.
+func ExampleRead() {
+	doc := `{
+	  "name": "toy",
+	  "nodes": ["a", "b", "c"],
+	  "duplex": [
+	    {"from": "a", "to": "b", "capacity": 30},
+	    {"from": "b", "to": "c", "capacity": 30},
+	    {"from": "a", "to": "c", "capacity": 10}
+	  ],
+	  "demands": [
+	    {"from": "a", "to": "c", "erlangs": 8},
+	    {"from": "c", "to": "a", "erlangs": 4}
+	  ],
+	  "h": 2
+	}`
+	scen, err := netio.Read(strings.NewReader(doc))
+	if err != nil {
+		panic(err)
+	}
+	g, m, err := scen.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d nodes, %d links, %.0f Erlangs, H=%d\n",
+		scen.Name, g.NumNodes(), g.NumLinks(), m.Total(), scen.H)
+	// Output:
+	// toy: 3 nodes, 6 links, 12 Erlangs, H=2
+}

@@ -1,0 +1,169 @@
+// Package netio serializes network scenarios — topology, offered traffic,
+// and scheme parameters — as JSON documents, so the harness and downstream
+// users can run the controlled alternate-routing machinery on their own
+// networks (`altsim custom -scenario file.json`).
+package netio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// Scenario is the on-disk description of a network and its workload.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Nodes lists display names; node IDs are their indices.
+	Nodes []string `json:"nodes"`
+	// Links lists unidirectional capacitated links. Use two entries (or
+	// Duplex) for a bidirectional facility.
+	Links []LinkSpec `json:"links,omitempty"`
+	// Duplex lists bidirectional facilities expanded into two links each.
+	Duplex []LinkSpec `json:"duplex,omitempty"`
+	// Demands lists the offered loads in Erlangs per ordered pair.
+	Demands []DemandSpec `json:"demands"`
+	// H is the maximum alternate hop length (0 = unlimited loop-free).
+	H int `json:"h,omitempty"`
+}
+
+// LinkSpec is one facility.
+type LinkSpec struct {
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Capacity int    `json:"capacity"`
+}
+
+// DemandSpec is one ordered pair's offered load.
+type DemandSpec struct {
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Erlangs float64 `json:"erlangs"`
+}
+
+// Read parses a scenario document.
+func Read(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("netio: parsing scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// Write serializes a scenario document.
+func (s *Scenario) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Build materializes the scenario into a graph and traffic matrix, resolving
+// node names and validating the description.
+func (s *Scenario) Build() (*graph.Graph, *traffic.Matrix, error) {
+	if len(s.Nodes) < 2 {
+		return nil, nil, fmt.Errorf("netio: scenario needs at least 2 nodes (got %d)", len(s.Nodes))
+	}
+	g := graph.New()
+	ids := make(map[string]graph.NodeID, len(s.Nodes))
+	for _, name := range s.Nodes {
+		if name == "" {
+			return nil, nil, fmt.Errorf("netio: empty node name")
+		}
+		if _, dup := ids[name]; dup {
+			return nil, nil, fmt.Errorf("netio: duplicate node %q", name)
+		}
+		ids[name] = g.AddNode(name)
+	}
+	lookup := func(name string) (graph.NodeID, error) {
+		id, ok := ids[name]
+		if !ok {
+			return graph.InvalidNode, fmt.Errorf("netio: unknown node %q", name)
+		}
+		return id, nil
+	}
+	for _, l := range s.Links {
+		from, err := lookup(l.From)
+		if err != nil {
+			return nil, nil, err
+		}
+		to, err := lookup(l.To)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := g.AddLink(from, to, l.Capacity); err != nil {
+			return nil, nil, fmt.Errorf("netio: link %s→%s: %w", l.From, l.To, err)
+		}
+	}
+	for _, l := range s.Duplex {
+		from, err := lookup(l.From)
+		if err != nil {
+			return nil, nil, err
+		}
+		to, err := lookup(l.To)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, _, err := g.AddDuplex(from, to, l.Capacity); err != nil {
+			return nil, nil, fmt.Errorf("netio: duplex %s↔%s: %w", l.From, l.To, err)
+		}
+	}
+	if !g.Connected() {
+		return nil, nil, fmt.Errorf("netio: scenario %q is not strongly connected", s.Name)
+	}
+	m := traffic.NewMatrix(g.NumNodes())
+	for _, d := range s.Demands {
+		from, err := lookup(d.From)
+		if err != nil {
+			return nil, nil, err
+		}
+		to, err := lookup(d.To)
+		if err != nil {
+			return nil, nil, err
+		}
+		if from == to {
+			return nil, nil, fmt.Errorf("netio: demand %s→%s is a self-loop", d.From, d.To)
+		}
+		if d.Erlangs < 0 {
+			return nil, nil, fmt.Errorf("netio: demand %s→%s is negative", d.From, d.To)
+		}
+		m.SetDemand(from, to, m.Demand(from, to)+d.Erlangs)
+	}
+	return g, m, nil
+}
+
+// FromNetwork captures an existing graph and matrix as a scenario document
+// (duplex pairs are not reconstructed; every link is emitted individually).
+func FromNetwork(name string, g *graph.Graph, m *traffic.Matrix, h int) (*Scenario, error) {
+	if g.NumNodes() != m.Size() {
+		return nil, fmt.Errorf("netio: matrix size %d for %d nodes", m.Size(), g.NumNodes())
+	}
+	s := &Scenario{Name: name, H: h}
+	for i := 0; i < g.NumNodes(); i++ {
+		s.Nodes = append(s.Nodes, g.NodeName(graph.NodeID(i)))
+	}
+	for _, l := range g.Links() {
+		s.Links = append(s.Links, LinkSpec{
+			From:     g.NodeName(l.From),
+			To:       g.NodeName(l.To),
+			Capacity: l.Capacity,
+		})
+	}
+	for i := graph.NodeID(0); int(i) < g.NumNodes(); i++ {
+		for j := graph.NodeID(0); int(j) < g.NumNodes(); j++ {
+			if i == j {
+				continue
+			}
+			if d := m.Demand(i, j); d > 0 {
+				s.Demands = append(s.Demands, DemandSpec{
+					From: g.NodeName(i), To: g.NodeName(j), Erlangs: d,
+				})
+			}
+		}
+	}
+	return s, nil
+}

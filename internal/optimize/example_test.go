@@ -1,0 +1,34 @@
+package optimize_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/optimize"
+	"repro/internal/traffic"
+)
+
+// Min-loss SI primary selection bifurcates when the min-hop path saturates:
+// 30 Erlangs offered to a capacity-20 direct link split between the direct
+// link and an ample 2-hop detour.
+func ExampleMinLossPrimaries() {
+	g := graph.New()
+	g.AddNodes(3)
+	g.MustAddLink(0, 1, 20)
+	g.MustAddLink(1, 0, 20)
+	g.MustAddLink(0, 2, 100)
+	g.MustAddLink(2, 0, 100)
+	g.MustAddLink(2, 1, 100)
+	g.MustAddLink(1, 2, 100)
+	m := traffic.NewMatrix(3)
+	m.SetDemand(0, 1, 30)
+
+	res, err := optimize.MinLossPrimaries(g, m, optimize.Options{})
+	if err != nil {
+		panic(err)
+	}
+	wps := res.Primaries[[2]graph.NodeID{0, 1}]
+	fmt.Printf("primaries: %d (bifurcated: %v)\n", len(wps), len(wps) > 1)
+	// Output:
+	// primaries: 2 (bifurcated: true)
+}

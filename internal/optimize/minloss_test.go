@@ -1,0 +1,212 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/traffic"
+)
+
+func TestLossDerivativeMatchesFiniteDifference(t *testing.T) {
+	for _, load := range []float64{0.5, 10, 74, 120} {
+		for _, c := range []int{1, 10, 100} {
+			got := lossDerivative(load, c)
+			h := 1e-5 * math.Max(load, 1)
+			f := func(l float64) float64 { return l * erlang.B(l, c) }
+			want := (f(load+h) - f(load-h)) / (2 * h)
+			if math.Abs(got-want) > 1e-4*math.Max(math.Abs(want), 1e-6) && math.Abs(got-want) > 1e-8 {
+				t.Errorf("f'(%v,%d) = %v, finite diff %v", load, c, got, want)
+			}
+		}
+	}
+	if got := lossDerivative(0, 5); got != 0 {
+		t.Errorf("f'(0,5) = %v, want 0", got)
+	}
+	if got := lossDerivative(0, 0); got != 1 {
+		t.Errorf("f'(0,0) = %v, want 1 (zero-capacity link loses everything)", got)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	got := goldenSection(func(x float64) float64 { return (x - 0.3) * (x - 0.3) }, 0, 1, 60)
+	if math.Abs(got-0.3) > 1e-6 {
+		t.Errorf("minimizer %v, want 0.3", got)
+	}
+	// Monotone decreasing: minimum at the right endpoint.
+	got = goldenSection(func(x float64) float64 { return -x }, 0, 1, 60)
+	if got != 1 {
+		t.Errorf("minimizer %v, want 1", got)
+	}
+	// Monotone increasing: minimum at the left endpoint.
+	got = goldenSection(func(x float64) float64 { return x }, 0, 1, 60)
+	if got != 0 {
+		t.Errorf("minimizer %v, want 0", got)
+	}
+}
+
+func TestCheapestPathMatchesMinHopUnderUnitWeights(t *testing.T) {
+	g := netmodel.NSFNet()
+	w := make([]float64, g.NumLinks())
+	for i := range w {
+		w[i] = 1
+	}
+	for s := graph.NodeID(0); s < 12; s++ {
+		for d := graph.NodeID(0); d < 12; d++ {
+			if s == d {
+				continue
+			}
+			p, ok := cheapestPath(g, s, d, w)
+			if !ok {
+				t.Fatalf("no path %d→%d", s, d)
+			}
+			mh, _ := minHopLen(g, s, d)
+			if p.Hops() != mh {
+				t.Errorf("%d→%d: Dijkstra %d hops, BFS %d", s, d, p.Hops(), mh)
+			}
+		}
+	}
+}
+
+func minHopLen(g *graph.Graph, s, d graph.NodeID) (int, bool) {
+	dist := map[graph.NodeID]int{s: 0}
+	queue := []graph.NodeID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == d {
+			return dist[v], true
+		}
+		for _, id := range g.Out(v) {
+			l := g.Link(id)
+			if l.Down {
+				continue
+			}
+			if _, seen := dist[l.To]; !seen {
+				dist[l.To] = dist[v] + 1
+				queue = append(queue, l.To)
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestMinLossOnAsymmetricTriangle(t *testing.T) {
+	// Two parallel routes 0→1: direct (tight capacity) and via 2 (ample).
+	// Min-hop puts all 30 Erlangs on the capacity-20 direct link (heavy
+	// loss); the optimizer must bifurcate and cut the loss substantially.
+	g := graph.New()
+	g.AddNodes(3)
+	g.MustAddLink(0, 1, 20)
+	g.MustAddLink(1, 0, 20)
+	g.MustAddLink(0, 2, 100)
+	g.MustAddLink(2, 0, 100)
+	g.MustAddLink(2, 1, 100)
+	g.MustAddLink(1, 2, 100)
+	m := traffic.NewMatrix(3)
+	m.SetDemand(0, 1, 30)
+
+	res, err := MinLossPrimaries(g, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := 30 * erlang.B(30, 20)
+	if res.Cost >= naive/2 {
+		t.Errorf("optimized cost %v not much below min-hop cost %v", res.Cost, naive)
+	}
+	wps := res.Primaries[[2]graph.NodeID{0, 1}]
+	if len(wps) != 2 {
+		t.Fatalf("expected bifurcation, got %d paths", len(wps))
+	}
+	wsum := 0.0
+	for _, wp := range wps {
+		if wp.Weight <= 0 || wp.Weight >= 1 {
+			t.Errorf("degenerate weight %v", wp.Weight)
+		}
+		wsum += wp.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", wsum)
+	}
+	if res.Iterations == 0 {
+		t.Error("optimizer did not iterate")
+	}
+}
+
+func TestMinLossKeepsLightNetworkOnMinHop(t *testing.T) {
+	// At trivial load there is nothing to gain: the min-hop solution is
+	// already optimal (cost ≈ 0) and primaries stay single.
+	g := netmodel.Quadrangle()
+	m := traffic.Uniform(4, 5)
+	res, err := MinLossPrimaries(g, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 1e-10 {
+		t.Errorf("cost %v at negligible load", res.Cost)
+	}
+	for pair, wps := range res.Primaries {
+		if len(wps) != 1 || wps[0].Path.Hops() != 1 {
+			t.Errorf("pair %v: unexpected bifurcation %v", pair, wps)
+		}
+	}
+}
+
+func TestMinLossNSFNetImprovesOnMinHop(t *testing.T) {
+	g := netmodel.NSFNet()
+	m, pr, err := traffic.NSFNetNominal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	minHopCost := LossRate(g, traffic.LinkLoads(g, m, pr))
+	res, err := MinLossPrimaries(g, m, Options{MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost >= minHopCost {
+		t.Errorf("optimized cost %v >= min-hop cost %v", res.Cost, minHopCost)
+	}
+	// The overloaded links (Λ>C at nominal) force genuine bifurcation
+	// somewhere.
+	bifurcated := 0
+	for _, wps := range res.Primaries {
+		if len(wps) > 1 {
+			bifurcated++
+		}
+	}
+	if bifurcated == 0 {
+		t.Error("expected bifurcated primaries on the overloaded NSFNet")
+	}
+	// Link loads from the result must equal recomputing from primaries.
+	loads := make([]float64, g.NumLinks())
+	for pair, wps := range res.Primaries {
+		d := m.Demand(pair[0], pair[1])
+		for _, wp := range wps {
+			for _, id := range wp.Path.Links {
+				loads[id] += d * wp.Weight
+			}
+		}
+	}
+	for id := range loads {
+		// Pruning MinFraction reweights pairs slightly; allow 1% slack.
+		if math.Abs(loads[id]-res.LinkLoads[id]) > 0.01*math.Max(res.LinkLoads[id], 1) {
+			t.Errorf("link %d: recomputed %v vs reported %v", id, loads[id], res.LinkLoads[id])
+		}
+	}
+}
+
+func TestMinLossErrors(t *testing.T) {
+	g := netmodel.Quadrangle()
+	if _, err := MinLossPrimaries(g, traffic.NewMatrix(3), Options{}); err == nil {
+		t.Error("size mismatch: want error")
+	}
+	disc := graph.New()
+	disc.AddNodes(2)
+	m := traffic.NewMatrix(2)
+	m.SetDemand(0, 1, 5)
+	if _, err := MinLossPrimaries(disc, m, Options{}); err == nil {
+		t.Error("disconnected: want error")
+	}
+}

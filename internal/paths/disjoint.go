@@ -1,0 +1,157 @@
+package paths
+
+import (
+	"repro/internal/graph"
+)
+
+// DisjointPair computes a link-disjoint pair of paths from src to dst with
+// minimum total hop count, using Suurballe's algorithm (two shortest-path
+// passes with residual-edge reversal on the first path). Link-disjoint
+// alternates avoid fate-sharing with the primary — a call re-routed after
+// blocking on its primary cannot be blocked by the very links that blocked
+// it — and survive any single link failure on the first path.
+//
+// ok is false when no link-disjoint pair exists (src and dst separated by a
+// bridge). The returned paths are ordered by hop count.
+func DisjointPair(g *graph.Graph, src, dst graph.NodeID) (first, second Path, ok bool) {
+	n := g.NumNodes()
+	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n || src == dst {
+		return Path{}, Path{}, false
+	}
+	p1, found := MinHop(g, src, dst)
+	if !found {
+		return Path{}, Path{}, false
+	}
+	// Second pass: BFS in the residual graph where the first path's links
+	// are removed and their reversals added (cost −1 ≈ 0 under unit weights;
+	// plain BFS stays optimal within one hop for the paper-scale graphs and
+	// always certifies existence, which is what the routing layer needs).
+	onP1 := make(map[graph.LinkID]bool, len(p1.Links))
+	revOf := make(map[[2]graph.NodeID]bool, len(p1.Links))
+	for i, id := range p1.Links {
+		onP1[id] = true
+		revOf[[2]graph.NodeID{p1.Nodes[i+1], p1.Nodes[i]}] = true
+	}
+	type hop struct {
+		prev    graph.NodeID
+		viaLink graph.LinkID // InvalidLink for residual reversals
+	}
+	visited := make([]bool, n)
+	prev := make([]hop, n)
+	queue := []graph.NodeID{src}
+	visited[src] = true
+	for len(queue) > 0 && !visited[dst] {
+		v := queue[0]
+		queue = queue[1:]
+		// Real links not on P1.
+		for _, id := range g.Out(v) {
+			l := g.Link(id)
+			if l.Down || onP1[id] || visited[l.To] {
+				continue
+			}
+			visited[l.To] = true
+			prev[l.To] = hop{prev: v, viaLink: id}
+			queue = append(queue, l.To)
+		}
+		// Residual reversals of P1 links entering v.
+		for i := len(p1.Nodes) - 1; i > 0; i-- {
+			if p1.Nodes[i] == v && !visited[p1.Nodes[i-1]] && revOf[[2]graph.NodeID{v, p1.Nodes[i-1]}] {
+				visited[p1.Nodes[i-1]] = true
+				prev[p1.Nodes[i-1]] = hop{prev: v, viaLink: graph.InvalidLink}
+				queue = append(queue, p1.Nodes[i-1])
+			}
+		}
+	}
+	if !visited[dst] {
+		return Path{}, Path{}, false
+	}
+	// Reconstruct the residual path.
+	var residual []hopEdge
+	for cur := dst; cur != src; cur = prev[cur].prev {
+		residual = append(residual, hopEdge{from: prev[cur].prev, to: cur, link: prev[cur].viaLink})
+	}
+	// Cancel overlaps: P1 links whose reversal the residual path used are
+	// dropped; the union of remaining edges decomposes into two disjoint
+	// src→dst paths.
+	cancelled := make(map[[2]graph.NodeID]bool)
+	edges := make(map[graph.NodeID][]hopEdge)
+	for _, e := range residual {
+		if e.link == graph.InvalidLink {
+			cancelled[[2]graph.NodeID{e.to, e.from}] = true // reversal of P1 edge (to→from)
+			continue
+		}
+		edges[e.from] = append(edges[e.from], e)
+	}
+	for i := 0; i+1 < len(p1.Nodes); i++ {
+		from, to := p1.Nodes[i], p1.Nodes[i+1]
+		if cancelled[[2]graph.NodeID{from, to}] {
+			continue
+		}
+		edges[from] = append(edges[from], hopEdge{from: from, to: to, link: p1.Links[i]})
+	}
+	a, okA := walk(g, edges, src, dst)
+	b, okB := walk(g, edges, src, dst)
+	if !okA || !okB {
+		return Path{}, Path{}, false
+	}
+	// The edge-union decomposition can route a walk through a node twice
+	// (link-disjoint paths may share nodes); splice such cycles out — the
+	// result stays link-disjoint and only gets shorter.
+	a = shortcutCycles(a)
+	b = shortcutCycles(b)
+	if a.Hops() <= b.Hops() {
+		return a, b, true
+	}
+	return b, a, true
+}
+
+type hopEdge struct {
+	from, to graph.NodeID
+	link     graph.LinkID
+}
+
+// walk consumes one src→dst path from the edge multimap.
+func walk(g *graph.Graph, edges map[graph.NodeID][]hopEdge, src, dst graph.NodeID) (Path, bool) {
+	nodes := []graph.NodeID{src}
+	var links []graph.LinkID
+	cur := src
+	for cur != dst {
+		avail := edges[cur]
+		if len(avail) == 0 {
+			return Path{}, false
+		}
+		e := avail[len(avail)-1]
+		edges[cur] = avail[:len(avail)-1]
+		nodes = append(nodes, e.to)
+		links = append(links, e.link)
+		cur = e.to
+		if len(links) > g.NumNodes()*2 {
+			return Path{}, false
+		}
+	}
+	return Path{Nodes: nodes, Links: links}, true
+}
+
+// shortcutCycles removes any revisited-node cycles from a walk.
+func shortcutCycles(p Path) Path {
+	seen := make(map[graph.NodeID]int, len(p.Nodes))
+	nodes := p.Nodes[:0:0]
+	links := p.Links[:0:0]
+	for i, nd := range p.Nodes {
+		if at, dup := seen[nd]; dup {
+			// Drop everything after the first visit of nd.
+			for _, cut := range nodes[at+1:] {
+				delete(seen, cut)
+			}
+			nodes = nodes[:at+1]
+			links = links[:at]
+		} else {
+			nodes = append(nodes, nd)
+			if i > 0 {
+				links = append(links, p.Links[i-1])
+			}
+			seen[nd] = len(nodes) - 1
+		}
+	}
+	return Path{Nodes: nodes, Links: links}
+}

@@ -1,0 +1,154 @@
+package paths
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bruteDisjointExists reports whether any link-disjoint pair of loop-free
+// paths exists, by exhaustive pairing.
+func bruteDisjointExists(g *graph.Graph, src, dst graph.NodeID) bool {
+	all := AllLoopFree(g, src, dst, 0)
+	for i := range all {
+		used := map[graph.LinkID]bool{}
+		for _, id := range all[i].Links {
+			used[id] = true
+		}
+		for j := range all {
+			if i == j {
+				continue
+			}
+			disjoint := true
+			for _, id := range all[j].Links {
+				if used[id] {
+					disjoint = false
+					break
+				}
+			}
+			if disjoint {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func linkDisjoint(a, b Path) bool {
+	used := map[graph.LinkID]bool{}
+	for _, id := range a.Links {
+		used[id] = true
+	}
+	for _, id := range b.Links {
+		if used[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDisjointPairQuadrangle(t *testing.T) {
+	g := complete(t, 4)
+	a, b, ok := DisjointPair(g, 0, 1)
+	if !ok {
+		t.Fatal("K4 must have disjoint pairs")
+	}
+	if err := Validate(g, a); err != nil {
+		t.Fatalf("first path invalid: %v", err)
+	}
+	if err := Validate(g, b); err != nil {
+		t.Fatalf("second path invalid: %v", err)
+	}
+	if !linkDisjoint(a, b) {
+		t.Fatalf("paths share links: %s / %s", a, b)
+	}
+	// Optimal pair in K4 is 1-hop + 2-hop.
+	if a.Hops()+b.Hops() != 3 {
+		t.Errorf("total hops %d, want 3 (%s / %s)", a.Hops()+b.Hops(), a, b)
+	}
+}
+
+func TestDisjointPairBridge(t *testing.T) {
+	// Two triangles joined by a single bridge: no disjoint pair across it.
+	g := graph.New()
+	g.AddNodes(6)
+	for _, p := range [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}} {
+		if _, _, err := g.AddDuplex(p[0], p[1], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := DisjointPair(g, 0, 5); ok {
+		t.Error("bridge-separated pair should have no disjoint pair")
+	}
+	// Within a triangle a pair exists.
+	if _, _, ok := DisjointPair(g, 0, 1); !ok {
+		t.Error("triangle pair should have a disjoint pair")
+	}
+	// Invalid endpoints.
+	if _, _, ok := DisjointPair(g, 0, 0); ok {
+		t.Error("src==dst should fail")
+	}
+	if _, _, ok := DisjointPair(g, 0, 99); ok {
+		t.Error("bad node should fail")
+	}
+}
+
+func TestDisjointPairMatchesBruteForceOnRandomGraphs(t *testing.T) {
+	for seed := int64(300); seed < 330; seed++ {
+		n := 5 + int(seed%4)
+		g := randomConnectedGraph(t, n, int(seed%3), seed)
+		for src := graph.NodeID(0); int(src) < n; src++ {
+			for dst := graph.NodeID(0); int(dst) < n; dst++ {
+				if src == dst {
+					continue
+				}
+				a, b, ok := DisjointPair(g, src, dst)
+				want := bruteDisjointExists(g, src, dst)
+				if ok != want {
+					t.Fatalf("seed %d %d→%d: DisjointPair=%v, brute force=%v", seed, src, dst, ok, want)
+				}
+				if !ok {
+					continue
+				}
+				if err := Validate(g, a); err != nil {
+					t.Fatalf("seed %d %d→%d: %v", seed, src, dst, err)
+				}
+				if err := Validate(g, b); err != nil {
+					t.Fatalf("seed %d %d→%d: %v", seed, src, dst, err)
+				}
+				if !linkDisjoint(a, b) {
+					t.Fatalf("seed %d %d→%d: not disjoint (%s / %s)", seed, src, dst, a, b)
+				}
+				if a.Origin() != src || a.Destination() != dst || b.Origin() != src || b.Destination() != dst {
+					t.Fatalf("seed %d %d→%d: wrong endpoints", seed, src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestShortcutCycles(t *testing.T) {
+	// A walk 0→1→2→1→3 (revisits 1) must shortcut to 0→1→3.
+	g := graph.New()
+	g.AddNodes(4)
+	l01 := g.MustAddLink(0, 1, 1)
+	l12 := g.MustAddLink(1, 2, 1)
+	l21 := g.MustAddLink(2, 1, 1)
+	l13 := g.MustAddLink(1, 3, 1)
+	walked := Path{
+		Nodes: []graph.NodeID{0, 1, 2, 1, 3},
+		Links: []graph.LinkID{l01, l12, l21, l13},
+	}
+	got := shortcutCycles(walked)
+	if got.String() != "0→1→3" {
+		t.Errorf("shortcut = %s, want 0→1→3", got)
+	}
+	if err := Validate(g, got); err != nil {
+		t.Errorf("shortcut invalid: %v", err)
+	}
+	// Already loop-free walks pass through unchanged.
+	clean := Path{Nodes: []graph.NodeID{0, 1, 3}, Links: []graph.LinkID{l01, l13}}
+	if got := shortcutCycles(clean); !got.Equal(clean) {
+		t.Errorf("clean path changed: %s", got)
+	}
+}

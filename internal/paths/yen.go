@@ -1,0 +1,166 @@
+package paths
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+)
+
+// KShortest returns up to k loop-free paths from src to dst over up links in
+// order of increasing hop count (ties broken lexicographically), using Yen's
+// algorithm with unit link weights. It produces the same ordering as
+// AllLoopFree truncated to k entries, but scales to topologies where
+// exhaustive enumeration is infeasible. maxHops <= 0 means no hop limit.
+//
+// The paper computes its primary and alternate path suites with a K-shortest
+// path algorithm (§4.2.1); this is the library's equivalent.
+func KShortest(g *graph.Graph, src, dst graph.NodeID, k, maxHops int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	n := g.NumNodes()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 || src == dst {
+		return nil
+	}
+	if maxHops <= 0 || maxHops > n-1 {
+		maxHops = n - 1
+	}
+	first, ok := shortestAvoiding(g, src, dst, nil, nil)
+	if !ok || first.Hops() > maxHops {
+		return nil
+	}
+	accepted := []Path{first}
+	cands := &candidateHeap{}
+	heap.Init(cands)
+	seen := map[string]bool{first.String(): true}
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		// Each prefix of the previously accepted path spawns a spur.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spurNode := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootLinks := prev.Links[:i]
+
+			// Ban links used by any accepted path sharing this root, so the
+			// spur deviates; ban root nodes (except spur) to stay loop-free.
+			bannedLinks := map[graph.LinkID]bool{}
+			for _, p := range accepted {
+				if len(p.Nodes) > i && samePrefix(p.Nodes, rootNodes) {
+					bannedLinks[p.Links[i]] = true
+				}
+			}
+			bannedNodes := map[graph.NodeID]bool{}
+			for _, nd := range rootNodes[:len(rootNodes)-1] {
+				bannedNodes[nd] = true
+			}
+
+			spur, ok := shortestAvoiding(g, spurNode, dst, bannedNodes, bannedLinks)
+			if !ok {
+				continue
+			}
+			total := Path{
+				Nodes: append(append([]graph.NodeID(nil), rootNodes...), spur.Nodes[1:]...),
+				Links: append(append([]graph.LinkID(nil), rootLinks...), spur.Links...),
+			}
+			if total.Hops() > maxHops {
+				continue
+			}
+			key := total.String()
+			if !seen[key] {
+				seen[key] = true
+				heap.Push(cands, total)
+			}
+		}
+		if cands.Len() == 0 {
+			break
+		}
+		accepted = append(accepted, heap.Pop(cands).(Path))
+	}
+	return accepted
+}
+
+func samePrefix(nodes, prefix []graph.NodeID) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shortestAvoiding is a BFS shortest path from src to dst that may not enter
+// bannedNodes nor traverse bannedLinks, with lexicographic tie-breaking
+// (consistent with MinHop). Either ban set may be nil.
+func shortestAvoiding(g *graph.Graph, src, dst graph.NodeID, bannedNodes map[graph.NodeID]bool, bannedLinks map[graph.LinkID]bool) (Path, bool) {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	// Reverse BFS from dst so the forward greedy walk can pick the
+	// lexicographically smallest shortest path.
+	dist[dst] = 0
+	queue := []graph.NodeID{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.In(v) {
+			l := g.Link(id)
+			if l.Down || bannedLinks[id] || bannedNodes[l.From] {
+				continue
+			}
+			if dist[l.From] < 0 {
+				dist[l.From] = dist[v] + 1
+				queue = append(queue, l.From)
+			}
+		}
+	}
+	if bannedNodes[src] || dist[src] < 0 {
+		return Path{}, false
+	}
+	nodes := []graph.NodeID{src}
+	links := []graph.LinkID{}
+	cur := src
+	for cur != dst {
+		next := graph.InvalidNode
+		var via graph.LinkID
+		for _, id := range g.Out(cur) {
+			l := g.Link(id)
+			if l.Down || bannedLinks[id] || bannedNodes[l.To] {
+				continue
+			}
+			if dist[l.To] == dist[cur]-1 {
+				if next == graph.InvalidNode || l.To < next {
+					next = l.To
+					via = id
+				}
+			}
+		}
+		if next == graph.InvalidNode {
+			return Path{}, false
+		}
+		nodes = append(nodes, next)
+		links = append(links, via)
+		cur = next
+	}
+	return Path{Nodes: nodes, Links: links}, true
+}
+
+// candidateHeap orders candidate paths by (length, lexicographic).
+type candidateHeap []Path
+
+func (h candidateHeap) Len() int            { return len(h) }
+func (h candidateHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(Path)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}

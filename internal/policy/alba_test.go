@@ -1,0 +1,105 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/erlang"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func TestLeastBusyPicksEmptiestAlternate(t *testing.T) {
+	g := netmodel.Quadrangle()
+	tbl, err := BuildMinHop(g, 2) // two-hop alternates only, like classic ALBA
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := LeastBusyAlternate{T: tbl}
+	s := sim.NewState(g)
+	c := sim.Call{ID: 0, Origin: 0, Dest: 1}
+	// Fill direct link; load the via-2 alternate more than via-3.
+	occupyDirect(t, g, s, 0, 1, 100)
+	occupyDirect(t, g, s, 0, 2, 60)
+	occupyDirect(t, g, s, 0, 3, 20)
+	p, alt, ok := pol.Route(s, c)
+	if !ok || !alt {
+		t.Fatalf("route failed: %v %v %v", p, alt, ok)
+	}
+	if p.String() != "0→3→1" {
+		t.Errorf("picked %s, want the least busy 0→3→1", p)
+	}
+	// Protection respected: with r=50 on every link, the 0→3 leg (occ 20,
+	// free 80) is admissible but the 0→2 leg (occ 60 > C−r−1=49) is not.
+	rs := make([]int, g.NumLinks())
+	for i := range rs {
+		rs[i] = 50
+	}
+	prot := LeastBusyAlternate{T: tbl, R: rs}
+	p, _, ok = prot.Route(s, c)
+	if !ok || p.String() != "0→3→1" {
+		t.Errorf("protected route %v ok=%v", p, ok)
+	}
+	// Push 0→3 into the protected band too: blocked.
+	occupyDirect(t, g, s, 0, 3, 40)
+	if _, _, ok := prot.Route(s, c); ok {
+		t.Error("all alternates protected: must block")
+	}
+	if pol.Name() != "least-busy-alternate" {
+		t.Error("bad name")
+	}
+}
+
+// TestLeastBusyVsShortestFirstOnQuadrangle is the ablation: on the
+// fully-connected quadrangle with 2-hop alternates and Equation-15
+// protection, least-busy selection should perform comparably to (typically
+// a hair better than) shortest-first, and both must stay at or below
+// single-path blocking.
+func TestLeastBusyVsShortestFirstOnQuadrangle(t *testing.T) {
+	g := netmodel.Quadrangle()
+	load := 92.0
+	m := traffic.Uniform(4, load)
+	tbl, err := BuildMinHop(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := erlang.ProtectionLevel(load, 100, 2)
+	rs := make([]int, g.NumLinks())
+	for i := range rs {
+		rs[i] = r
+	}
+	ctrl := Controlled{T: tbl, R: rs}
+	alba := LeastBusyAlternate{T: tbl, R: rs}
+	single := SinglePath{T: tbl}
+	var blk [3]int64
+	var off int64
+	for seed := int64(0); seed < 5; seed++ {
+		tr := sim.GenerateTrace(m, 110, seed)
+		for i, pol := range []sim.Policy{single, ctrl, alba} {
+			res, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			blk[i] += res.Blocked
+			if i == 0 {
+				off += res.Offered
+			}
+		}
+	}
+	slack := off / 500
+	if blk[1] > blk[0]+slack {
+		t.Errorf("controlled (%d) worse than single-path (%d)", blk[1], blk[0])
+	}
+	if blk[2] > blk[0]+slack {
+		t.Errorf("least-busy (%d) worse than single-path (%d)", blk[2], blk[0])
+	}
+	// The two overflow-selection rules should be within a small band of each
+	// other on this symmetric network.
+	diff := blk[1] - blk[2]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > off/50 {
+		t.Errorf("shortest-first (%d) and least-busy (%d) differ too much", blk[1], blk[2])
+	}
+}

@@ -1,0 +1,100 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mdp"
+	"repro/internal/paths"
+	"repro/internal/sim"
+)
+
+// OttKrishnan implements the separable shadow-price routing of Ott &
+// Krishnan (ITC 1985), the comparator of §4.2.2: a call is routed on the
+// candidate path (primary or any alternate of the suite) minimizing the sum
+// of per-link shadow prices at the current occupancies, and blocked if even
+// that minimum exceeds the call's revenue. The separability assumption —
+// path price = Σ link prices — is exactly what the paper argues breaks down
+// on sparse general meshes.
+type OttKrishnan struct {
+	T *Table
+	// Prices[k][s] is the shadow price of admitting a call on link k at
+	// occupancy s (s in [0, C_k)).
+	Prices [][]float64
+	// Revenue is the per-call revenue against which path prices are
+	// compared; the paper's single call class has unit revenue.
+	Revenue float64
+}
+
+// NewOttKrishnan builds the policy from per-link offered loads. Following
+// the paper's §4.2.2 port of the scheme, the loads are the *unreduced*
+// primary intensities Λ^k (no reduced-load fixed point). Links with zero
+// load get zero prices (no future losses to cause).
+func NewOttKrishnan(t *Table, linkLoads []float64) (OttKrishnan, error) {
+	g := t.Graph()
+	if len(linkLoads) != g.NumLinks() {
+		return OttKrishnan{}, fmt.Errorf("policy: %d loads for %d links", len(linkLoads), g.NumLinks())
+	}
+	prices := make([][]float64, g.NumLinks())
+	for id := 0; id < g.NumLinks(); id++ {
+		c := g.Link(graph.LinkID(id)).Capacity
+		if c == 0 {
+			continue
+		}
+		if linkLoads[id] <= 0 {
+			prices[id] = make([]float64, c)
+			continue
+		}
+		prices[id] = mdp.ShadowPrices(linkLoads[id], c)
+	}
+	return OttKrishnan{T: t, Prices: prices, Revenue: 1}, nil
+}
+
+// Name implements sim.Policy.
+func (p OttKrishnan) Name() string { return "ott-krishnan" }
+
+// PrimaryPath implements sim.Policy.
+func (p OttKrishnan) PrimaryPath(_ *sim.State, c sim.Call) paths.Path {
+	return p.T.SelectPrimary(c)
+}
+
+// pathPrice sums the link shadow prices along pth at current occupancies;
+// ok=false if some link has no spare capacity.
+func (p OttKrishnan) pathPrice(s *sim.State, pth paths.Path) (float64, bool) {
+	total := 0.0
+	for _, id := range pth.Links {
+		if !s.AdmitsPrimary(id) {
+			return 0, false
+		}
+		total += p.Prices[id][s.Occupancy(id)]
+	}
+	return total, true
+}
+
+// Route implements sim.Policy: evaluate the primary and every alternate,
+// pick the cheapest feasible path, admit if its price does not exceed the
+// revenue. Candidates are scanned primary-first then by increasing length,
+// so ties resolve toward the SI choice.
+func (p OttKrishnan) Route(s *sim.State, c sim.Call) (paths.Path, bool, bool) {
+	prim := p.T.SelectPrimary(c)
+	best := paths.Path{}
+	bestPrice := 0.0
+	bestAlt := false
+	found := false
+	if price, ok := p.pathPrice(s, prim); ok {
+		best, bestPrice, bestAlt, found = prim, price, false, true
+	}
+	for _, alt := range p.T.alternatesFor(c, prim) {
+		price, ok := p.pathPrice(s, alt)
+		if !ok {
+			continue
+		}
+		if !found || price < bestPrice {
+			best, bestPrice, bestAlt, found = alt, price, true, true
+		}
+	}
+	if !found || bestPrice > p.Revenue {
+		return paths.Path{}, false, false
+	}
+	return best, bestAlt, true
+}

@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/sim"
+)
+
+// SinglePath admits calls on their SI primary path only — the paper's
+// "single-path routing" baseline (alternate routing prohibited). With
+// bifurcated primaries the chosen route is still picked state-independently
+// per call, matching the paper's loose use of "single-path" (§1).
+type SinglePath struct {
+	T *Table
+}
+
+// Name implements sim.Policy.
+func (p SinglePath) Name() string { return "single-path" }
+
+// PrimaryPath implements sim.Policy.
+func (p SinglePath) PrimaryPath(_ *sim.State, c sim.Call) paths.Path {
+	return p.T.SelectPrimary(c)
+}
+
+// Route implements sim.Policy.
+func (p SinglePath) Route(s *sim.State, c sim.Call) (paths.Path, bool, bool) {
+	prim := p.T.SelectPrimary(c)
+	if ok, _ := s.PathAdmitsPrimary(prim); ok {
+		return prim, false, true
+	}
+	return paths.Path{}, false, false
+}
+
+// Uncontrolled is alternate routing with no state protection: a call blocked
+// on its primary path attempts every alternate in order of increasing length
+// and is admitted on the first with spare capacity on all links.
+type Uncontrolled struct {
+	T *Table
+}
+
+// Name implements sim.Policy.
+func (p Uncontrolled) Name() string { return "uncontrolled-alternate" }
+
+// PrimaryPath implements sim.Policy.
+func (p Uncontrolled) PrimaryPath(_ *sim.State, c sim.Call) paths.Path {
+	return p.T.SelectPrimary(c)
+}
+
+// Route implements sim.Policy.
+func (p Uncontrolled) Route(s *sim.State, c sim.Call) (paths.Path, bool, bool) {
+	prim := p.T.SelectPrimary(c)
+	if ok, _ := s.PathAdmitsPrimary(prim); ok {
+		return prim, false, true
+	}
+	for _, alt := range p.T.alternatesFor(c, prim) {
+		if ok, _ := s.PathAdmitsAlternate(alt, nil); ok {
+			return alt, true, true
+		}
+	}
+	return paths.Path{}, false, false
+}
+
+// Controlled is the paper's scheme: alternate attempts are admitted on a
+// link only while its occupancy is at most C−r−1, with per-link protection
+// levels r chosen by Equation 15 so that controlled alternate routing is
+// guaranteed (under the Poisson assumptions) to improve on single-path
+// routing.
+type Controlled struct {
+	T *Table
+	// R is the state-protection level per link, indexed by LinkID.
+	R []int
+}
+
+// NewControlled computes the protection levels from the per-link primary
+// demands (Equation 1 loads, indexed by LinkID) via Equation 15 with the
+// table's H, and returns the ready policy.
+func NewControlled(t *Table, linkLoads []float64) (Controlled, error) {
+	g := t.Graph()
+	if len(linkLoads) != g.NumLinks() {
+		return Controlled{}, fmt.Errorf("policy: %d loads for %d links", len(linkLoads), g.NumLinks())
+	}
+	r := make([]int, g.NumLinks())
+	for id := 0; id < g.NumLinks(); id++ {
+		r[id] = erlang.ProtectionLevel(linkLoads[id], g.Link(graph.LinkID(id)).Capacity, t.MaxAltHops)
+	}
+	return Controlled{T: t, R: r}, nil
+}
+
+// Name implements sim.Policy.
+func (p Controlled) Name() string { return "controlled-alternate" }
+
+// PrimaryPath implements sim.Policy.
+func (p Controlled) PrimaryPath(_ *sim.State, c sim.Call) paths.Path {
+	return p.T.SelectPrimary(c)
+}
+
+// Route implements sim.Policy.
+func (p Controlled) Route(s *sim.State, c sim.Call) (paths.Path, bool, bool) {
+	prim := p.T.SelectPrimary(c)
+	if ok, _ := s.PathAdmitsPrimary(prim); ok {
+		return prim, false, true
+	}
+	for _, alt := range p.T.alternatesFor(c, prim) {
+		if ok, _ := s.PathAdmitsAlternate(alt, p.R); ok {
+			return alt, true, true
+		}
+	}
+	return paths.Path{}, false, false
+}

@@ -1,0 +1,391 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/paths"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func quadTable(t *testing.T, h int) *Table {
+	t.Helper()
+	tbl, err := BuildMinHop(netmodel.Quadrangle(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestBuildMinHopQuadrangle(t *testing.T) {
+	tbl := quadTable(t, 0)
+	if tbl.MaxAltHops != 3 {
+		t.Errorf("MaxAltHops = %d, want 3 (N−1)", tbl.MaxAltHops)
+	}
+	for i := graph.NodeID(0); i < 4; i++ {
+		for j := graph.NodeID(0); j < 4; j++ {
+			if i == j {
+				continue
+			}
+			rs := tbl.Routes(i, j)
+			if rs == nil {
+				t.Fatalf("no routes %d→%d", i, j)
+			}
+			if len(rs.Primaries) != 1 || rs.Primaries[0].Path.Hops() != 1 {
+				t.Errorf("%d→%d primary %v", i, j, rs.Primaries)
+			}
+			if len(rs.Alternates) != 4 {
+				t.Errorf("%d→%d: %d alternates, want 4 (two 2-hop + two 3-hop)", i, j, len(rs.Alternates))
+			}
+			for k := 1; k < len(rs.Alternates); k++ {
+				if rs.Alternates[k].Hops() < rs.Alternates[k-1].Hops() {
+					t.Errorf("%d→%d alternates out of order", i, j)
+				}
+			}
+		}
+	}
+	if tbl.Routes(0, 0) != nil {
+		t.Error("Routes(0,0) should be nil")
+	}
+}
+
+func TestBuildMinHopHopLimit(t *testing.T) {
+	tbl := quadTable(t, 2)
+	rs := tbl.Routes(0, 1)
+	if len(rs.Alternates) != 2 {
+		t.Errorf("H=2: %d alternates, want 2", len(rs.Alternates))
+	}
+}
+
+func TestBuildMinHopDisconnected(t *testing.T) {
+	g := graph.New()
+	g.AddNodes(2)
+	if _, err := BuildMinHop(g, 0); err == nil {
+		t.Error("disconnected: want error")
+	}
+}
+
+func TestSelectPrimaryDeterministic(t *testing.T) {
+	tbl := quadTable(t, 0)
+	c := sim.Call{ID: 5, Origin: 0, Dest: 2}
+	p1 := tbl.SelectPrimary(c)
+	p2 := tbl.SelectPrimary(c)
+	if !p1.Equal(p2) {
+		t.Error("SelectPrimary not deterministic")
+	}
+	if p1.Hops() != 1 {
+		t.Errorf("quadrangle primary should be direct, got %v", p1)
+	}
+	if got := tbl.SelectPrimary(sim.Call{ID: 0, Origin: 1, Dest: 1}); len(got.Nodes) != 0 {
+		t.Error("missing pair should yield empty path")
+	}
+}
+
+func TestBifurcatedTable(t *testing.T) {
+	g := netmodel.Quadrangle()
+	// Pair (0,1) splits 60/40 between the direct link and the 2-hop via 2;
+	// all other pairs direct.
+	direct, _ := paths.MinHop(g, 0, 1)
+	via2 := paths.Path{
+		Nodes: []graph.NodeID{0, 2, 1},
+		Links: []graph.LinkID{g.LinkBetween(0, 2), g.LinkBetween(2, 1)},
+	}
+	primaries := map[[2]graph.NodeID][]WeightedPath{}
+	for i := graph.NodeID(0); i < 4; i++ {
+		for j := graph.NodeID(0); j < 4; j++ {
+			if i == j {
+				continue
+			}
+			p, _ := paths.MinHop(g, i, j)
+			primaries[[2]graph.NodeID{i, j}] = []WeightedPath{{Path: p, Weight: 1}}
+		}
+	}
+	primaries[[2]graph.NodeID{0, 1}] = []WeightedPath{
+		{Path: direct, Weight: 0.6},
+		{Path: via2, Weight: 0.4},
+	}
+	tbl, err := BuildBifurcated(g, primaries, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := tbl.Routes(0, 1)
+	if len(rs.Primaries) != 2 {
+		t.Fatalf("primaries = %d", len(rs.Primaries))
+	}
+	// Alternates exclude both primaries: 5 loop-free paths − 2 primaries.
+	if len(rs.Alternates) != 3 {
+		t.Errorf("alternates = %d, want 3", len(rs.Alternates))
+	}
+	// Selection frequencies over many call IDs approximate the weights.
+	nDirect := 0
+	const trials = 20000
+	for id := 0; id < trials; id++ {
+		p := tbl.SelectPrimary(sim.Call{ID: id, Origin: 0, Dest: 1})
+		if p.Equal(direct) {
+			nDirect++
+		} else if !p.Equal(via2) {
+			t.Fatalf("unexpected primary %v", p)
+		}
+	}
+	frac := float64(nDirect) / trials
+	if math.Abs(frac-0.6) > 0.02 {
+		t.Errorf("direct fraction %v, want ≈0.6", frac)
+	}
+}
+
+func TestBifurcatedTableErrors(t *testing.T) {
+	g := netmodel.Quadrangle()
+	if _, err := BuildBifurcated(g, map[[2]graph.NodeID][]WeightedPath{}, 0, 0); err == nil {
+		t.Error("missing pairs: want error")
+	}
+	// Bad weights.
+	primaries := map[[2]graph.NodeID][]WeightedPath{}
+	for i := graph.NodeID(0); i < 4; i++ {
+		for j := graph.NodeID(0); j < 4; j++ {
+			if i == j {
+				continue
+			}
+			p, _ := paths.MinHop(g, i, j)
+			primaries[[2]graph.NodeID{i, j}] = []WeightedPath{{Path: p, Weight: 0.5}}
+		}
+	}
+	if _, err := BuildBifurcated(g, primaries, 0, 0); err == nil {
+		t.Error("weights not summing to 1: want error")
+	}
+}
+
+func TestSinglePathSemantics(t *testing.T) {
+	g := netmodel.Quadrangle()
+	tbl, err := BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := SinglePath{T: tbl}
+	s := sim.NewState(g)
+	c := sim.Call{ID: 0, Origin: 0, Dest: 1}
+	p, alt, ok := pol.Route(s, c)
+	if !ok || alt || p.Hops() != 1 {
+		t.Fatalf("idle network: %v %v %v", p, alt, ok)
+	}
+	// Fill the direct link: single-path must block even though alternates
+	// are free.
+	occupyDirect(t, g, s, 0, 1, 100)
+	if _, _, ok := pol.Route(s, c); ok {
+		t.Error("single-path must not use alternates")
+	}
+	if got := pol.Name(); got != "single-path" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func occupyDirect(t *testing.T, g *graph.Graph, s *sim.State, from, to graph.NodeID, count int) {
+	t.Helper()
+	id := g.LinkBetween(from, to)
+	p := paths.Path{Nodes: []graph.NodeID{from, to}, Links: []graph.LinkID{id}}
+	for k := 0; k < count; k++ {
+		s.Occupy(p)
+	}
+}
+
+func TestUncontrolledOverflowsInLengthOrder(t *testing.T) {
+	g := netmodel.Quadrangle()
+	tbl, err := BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := Uncontrolled{T: tbl}
+	s := sim.NewState(g)
+	c := sim.Call{ID: 0, Origin: 0, Dest: 1}
+	occupyDirect(t, g, s, 0, 1, 100)
+	p, alt, ok := pol.Route(s, c)
+	if !ok || !alt || p.Hops() != 2 {
+		t.Fatalf("expected 2-hop overflow, got %v alt=%v ok=%v", p, alt, ok)
+	}
+	// Saturate one 2-hop alternate's first link (0→2): next 2-hop (0→3→1)
+	// must be chosen.
+	occupyDirect(t, g, s, 0, 2, 100)
+	p, _, ok = pol.Route(s, c)
+	if !ok || p.String() != "0→3→1" {
+		t.Fatalf("expected 0→3→1, got %v ok=%v", p, ok)
+	}
+	// Saturate 0→3 as well: only 3-hop alternates remain, but both start
+	// with a saturated link (0→2 or 0→3) → blocked.
+	occupyDirect(t, g, s, 0, 3, 100)
+	if _, _, ok := pol.Route(s, c); ok {
+		t.Error("all outgoing links full: must block")
+	}
+}
+
+func TestControlledRespectsProtection(t *testing.T) {
+	g := netmodel.Quadrangle()
+	tbl, err := BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform protection r=10 on every link.
+	r := make([]int, g.NumLinks())
+	for i := range r {
+		r[i] = 10
+	}
+	pol := Controlled{T: tbl, R: r}
+	s := sim.NewState(g)
+	c := sim.Call{ID: 0, Origin: 0, Dest: 1}
+
+	// Fill direct link, and push all other links into the protected band
+	// (occupancy 90 = C−r): alternates must be refused, call blocked.
+	occupyDirect(t, g, s, 0, 1, 100)
+	for _, l := range g.Links() {
+		if l.From == 0 && l.To == 1 {
+			continue
+		}
+		occupyDirect(t, g, s, l.From, l.To, 90)
+	}
+	if _, _, ok := pol.Route(s, c); ok {
+		t.Error("protected band must refuse alternates")
+	}
+	// Primary admission is unaffected by protection: a fresh call whose
+	// direct link is at 90 < 100 is accepted.
+	c2 := sim.Call{ID: 1, Origin: 2, Dest: 3}
+	p, alt, ok := pol.Route(s, c2)
+	if !ok || alt || p.Hops() != 1 {
+		t.Errorf("primary at occ 90 should be admitted: %v %v %v", p, alt, ok)
+	}
+}
+
+func TestNewControlledComputesEquation15(t *testing.T) {
+	g := netmodel.NSFNet()
+	tbl, err := BuildMinHop(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumLinks())
+	table1 := netmodel.NSFNetTable1Load()
+	for pair, v := range table1 {
+		loads[g.LinkBetween(pair[0], pair[1])] = v
+	}
+	pol, err := NewControlled(tbl, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := netmodel.NSFNetTable1Protection()
+	exact := 0
+	for pair, want := range prot {
+		if pol.R[g.LinkBetween(pair[0], pair[1])] == want[0] {
+			exact++
+		}
+	}
+	if exact < 26 {
+		t.Errorf("H=6 protection matches %d/30 Table 1 rows, want >= 26", exact)
+	}
+	if _, err := NewControlled(tbl, []float64{1}); err == nil {
+		t.Error("bad load length: want error")
+	}
+}
+
+func TestOttKrishnanPrefersCheapPath(t *testing.T) {
+	g := netmodel.Quadrangle()
+	tbl, err := BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumLinks())
+	for i := range loads {
+		loads[i] = 80
+	}
+	pol, err := NewOttKrishnan(tbl, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewState(g)
+	c := sim.Call{ID: 0, Origin: 0, Dest: 1}
+	// Idle network: the 1-hop primary is cheapest (prices increase with
+	// occupancy and path length).
+	p, alt, ok := pol.Route(s, c)
+	if !ok || alt || p.Hops() != 1 {
+		t.Fatalf("idle: %v %v %v", p, alt, ok)
+	}
+	// Load the direct link close to capacity so its price at occupancy 99
+	// exceeds the idle 2-hop price: the policy should shift to an alternate.
+	occupyDirect(t, g, s, 0, 1, 99)
+	p, alt, ok = pol.Route(s, c)
+	if !ok || !alt {
+		t.Fatalf("want alternate, got %v alt=%v ok=%v", p, alt, ok)
+	}
+	// Saturate everything out of node 0: blocked.
+	occupyDirect(t, g, s, 0, 1, 1)
+	occupyDirect(t, g, s, 0, 2, 100)
+	occupyDirect(t, g, s, 0, 3, 100)
+	if _, _, ok := pol.Route(s, c); ok {
+		t.Error("no feasible path: must block")
+	}
+	if _, err := NewOttKrishnan(tbl, []float64{1}); err == nil {
+		t.Error("bad load length: want error")
+	}
+}
+
+func TestOttKrishnanZeroLoadLinks(t *testing.T) {
+	g := netmodel.Quadrangle()
+	tbl, err := BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumLinks()) // all zero
+	pol, err := NewOttKrishnan(tbl, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewState(g)
+	p, _, ok := pol.Route(s, sim.Call{ID: 0, Origin: 0, Dest: 1})
+	if !ok || p.Hops() != 1 {
+		t.Errorf("zero-load prices: %v %v", p, ok)
+	}
+}
+
+func TestPoliciesShareTraffic(t *testing.T) {
+	// All policies must report the same primary path for the same call
+	// (common-random-numbers requirement).
+	tbl := quadTable(t, 0)
+	s := sim.NewState(tbl.Graph())
+	c := sim.Call{ID: 3, Origin: 1, Dest: 3}
+	sp := SinglePath{T: tbl}.PrimaryPath(s, c)
+	un := Uncontrolled{T: tbl}.PrimaryPath(s, c)
+	co := Controlled{T: tbl, R: make([]int, tbl.Graph().NumLinks())}.PrimaryPath(s, c)
+	if !sp.Equal(un) || !sp.Equal(co) {
+		t.Error("policies disagree on the primary path")
+	}
+}
+
+func TestTrafficLinkLoadsAgreeWithEquation1(t *testing.T) {
+	// The traffic package's LinkLoads and a manual Equation 1 over the route
+	// table must agree (consistency between independent implementations).
+	g := netmodel.NSFNet()
+	m, pr, err := traffic.NSFNetNominal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := traffic.LinkLoads(g, m, pr)
+	got := make([]float64, g.NumLinks())
+	for i := graph.NodeID(0); i < 12; i++ {
+		for j := graph.NodeID(0); j < 12; j++ {
+			if i == j {
+				continue
+			}
+			rs := tbl.Routes(i, j)
+			for _, id := range rs.Primaries[0].Path.Links {
+				got[id] += m.Demand(i, j)
+			}
+		}
+	}
+	for id := range want {
+		if math.Abs(got[id]-want[id]) > 1e-9 {
+			t.Errorf("link %d: table route load %v vs traffic %v", id, got[id], want[id])
+		}
+	}
+}

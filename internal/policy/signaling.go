@@ -1,0 +1,65 @@
+package policy
+
+import (
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/sim"
+)
+
+// The three §4 policies also implement sim.AttemptPolicy, exposing their
+// candidate-path sequences and per-hop admission rules to the two-phase
+// signaling runner (sim.RunSignaling).
+
+// Attempt implements sim.AttemptPolicy: single-path routing has exactly one
+// candidate, the SI primary.
+func (p SinglePath) Attempt(c sim.Call, i int) (paths.Path, bool, bool) {
+	if i != 0 {
+		return paths.Path{}, false, false
+	}
+	return p.T.SelectPrimary(c), false, true
+}
+
+// AdmitsHop implements sim.AttemptPolicy.
+func (p SinglePath) AdmitsHop(s *sim.State, id graph.LinkID, _ bool) bool {
+	return s.AdmitsPrimary(id)
+}
+
+// Attempt implements sim.AttemptPolicy: the primary, then every alternate
+// in order of increasing length.
+func (p Uncontrolled) Attempt(c sim.Call, i int) (paths.Path, bool, bool) {
+	if i == 0 {
+		return p.T.SelectPrimary(c), false, true
+	}
+	alts := p.T.AlternatesOf(c)
+	if i-1 < len(alts) {
+		return alts[i-1], true, true
+	}
+	return paths.Path{}, false, false
+}
+
+// AdmitsHop implements sim.AttemptPolicy: uncontrolled alternates need only
+// spare capacity.
+func (p Uncontrolled) AdmitsHop(s *sim.State, id graph.LinkID, _ bool) bool {
+	return s.AdmitsPrimary(id)
+}
+
+// Attempt implements sim.AttemptPolicy.
+func (p Controlled) Attempt(c sim.Call, i int) (paths.Path, bool, bool) {
+	if i == 0 {
+		return p.T.SelectPrimary(c), false, true
+	}
+	alts := p.T.AlternatesOf(c)
+	if i-1 < len(alts) {
+		return alts[i-1], true, true
+	}
+	return paths.Path{}, false, false
+}
+
+// AdmitsHop implements sim.AttemptPolicy: alternates are admitted only below
+// the link's protection boundary.
+func (p Controlled) AdmitsHop(s *sim.State, id graph.LinkID, alternate bool) bool {
+	if !alternate {
+		return s.AdmitsPrimary(id)
+	}
+	return s.AdmitsAlternate(id, p.R[id])
+}

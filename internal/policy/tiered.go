@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/sim"
+)
+
+// PerLinkH computes, for every link, the footnote-5 variant of the design
+// parameter: H^k is the maximum hop length over the alternate paths that
+// actually traverse link k (rather than one global H). Links touched only by
+// short alternates can then run smaller protection levels, freeing alternate
+// routing at low load while preserving the guarantee: every alternate path P
+// through k has |P| <= H^k, so Σ_{k∈P} L^k <= Σ_{k∈P} 1/H^k <= |P|/|P| = 1.
+//
+// Links no alternate traverses get H^k = 1 (protection 0 — immaterial, they
+// never see alternate-routed calls).
+func PerLinkH(t *Table) []int {
+	g := t.Graph()
+	h := make([]int, g.NumLinks())
+	for i := range h {
+		h[i] = 1
+	}
+	n := g.NumNodes()
+	for a := graph.NodeID(0); int(a) < n; a++ {
+		for b := graph.NodeID(0); int(b) < n; b++ {
+			if a == b {
+				continue
+			}
+			rs := t.Routes(a, b)
+			if rs == nil {
+				continue
+			}
+			for _, alt := range rs.Alternates {
+				hops := alt.Hops()
+				for _, id := range alt.Links {
+					if hops > h[id] {
+						h[id] = hops
+					}
+				}
+			}
+		}
+	}
+	return h
+}
+
+// NewControlledPerLinkH builds the controlled policy with per-link H^k
+// protection levels derived from the link loads.
+func NewControlledPerLinkH(t *Table, linkLoads []float64) (Controlled, error) {
+	g := t.Graph()
+	if len(linkLoads) != g.NumLinks() {
+		return Controlled{}, fmt.Errorf("policy: %d loads for %d links", len(linkLoads), g.NumLinks())
+	}
+	hs := PerLinkH(t)
+	r := make([]int, g.NumLinks())
+	for id := 0; id < g.NumLinks(); id++ {
+		r[id] = erlang.ProtectionLevel(linkLoads[id], g.Link(graph.LinkID(id)).Capacity, hs[id])
+	}
+	return Controlled{T: t, R: r}, nil
+}
+
+// ControlledTiered prioritizes shorter alternates, the §3.2 variant the
+// paper mentions but does not study: alternates of at most SplitHops hops
+// are admitted under the (smaller) RShort levels, longer ones under RLong.
+// Each class's levels satisfy Equation 15 against its own maximum length, so
+// the single-path-dominance guarantee is preserved: a short alternate of
+// |P| <= SplitHops hops displaces at most |P|/SplitHops <= 1 primary calls,
+// a long one at most |P|/H <= 1.
+type ControlledTiered struct {
+	T *Table
+	// SplitHops separates the classes (e.g. 2: two-hop alternates get the
+	// relaxed levels).
+	SplitHops int
+	// RShort and RLong are per-link protection levels for the two classes.
+	RShort, RLong []int
+}
+
+// NewControlledTiered derives both level vectors from the link loads:
+// RShort via Equation 15 with H = splitHops, RLong with the table's H.
+func NewControlledTiered(t *Table, linkLoads []float64, splitHops int) (ControlledTiered, error) {
+	g := t.Graph()
+	if len(linkLoads) != g.NumLinks() {
+		return ControlledTiered{}, fmt.Errorf("policy: %d loads for %d links", len(linkLoads), g.NumLinks())
+	}
+	if splitHops < 1 || splitHops > t.MaxAltHops {
+		return ControlledTiered{}, fmt.Errorf("policy: splitHops %d outside [1, %d]", splitHops, t.MaxAltHops)
+	}
+	rs := make([]int, g.NumLinks())
+	rl := make([]int, g.NumLinks())
+	for id := 0; id < g.NumLinks(); id++ {
+		c := g.Link(graph.LinkID(id)).Capacity
+		rs[id] = erlang.ProtectionLevel(linkLoads[id], c, splitHops)
+		rl[id] = erlang.ProtectionLevel(linkLoads[id], c, t.MaxAltHops)
+	}
+	return ControlledTiered{T: t, SplitHops: splitHops, RShort: rs, RLong: rl}, nil
+}
+
+// Name implements sim.Policy.
+func (p ControlledTiered) Name() string { return "controlled-tiered" }
+
+// PrimaryPath implements sim.Policy.
+func (p ControlledTiered) PrimaryPath(_ *sim.State, c sim.Call) paths.Path {
+	return p.T.SelectPrimary(c)
+}
+
+// Route implements sim.Policy.
+func (p ControlledTiered) Route(s *sim.State, c sim.Call) (paths.Path, bool, bool) {
+	prim := p.T.SelectPrimary(c)
+	if ok, _ := s.PathAdmitsPrimary(prim); ok {
+		return prim, false, true
+	}
+	for _, alt := range p.T.AlternatesOf(c) {
+		r := p.RLong
+		if alt.Hops() <= p.SplitHops {
+			r = p.RShort
+		}
+		if ok, _ := s.PathAdmitsAlternate(alt, r); ok {
+			return alt, true, true
+		}
+	}
+	return paths.Path{}, false, false
+}

@@ -1,0 +1,244 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func TestPerLinkHQuadrangle(t *testing.T) {
+	// Every link of the quadrangle carries some 3-hop alternate, so H^k = 3
+	// everywhere (equal to the global N−1).
+	tbl, err := BuildMinHop(netmodel.Quadrangle(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, h := range PerLinkH(tbl) {
+		if h != 3 {
+			t.Errorf("link %d: H^k = %d, want 3", id, h)
+		}
+	}
+	// With the alternate suite capped at 2 hops, H^k = 2 everywhere.
+	tbl2, err := BuildMinHop(netmodel.Quadrangle(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, h := range PerLinkH(tbl2) {
+		if h != 2 {
+			t.Errorf("capped: link %d H^k = %d, want 2", id, h)
+		}
+	}
+}
+
+// TestPerLinkHNSFNetDegenerates documents a finding of this reproduction:
+// on the NSFNet model every link lies on some maximum-length alternate, so
+// the footnote-5 per-link H^k equals the global H on every link and yields
+// no relaxation there.
+func TestPerLinkHNSFNetDegenerates(t *testing.T) {
+	g := netmodel.NSFNet()
+	tbl, err := BuildMinHop(g, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, h := range PerLinkH(tbl) {
+		if h != 11 {
+			t.Errorf("link %d: H^k = %d, want 11 (degenerate on NSFNet)", id, h)
+		}
+	}
+	if _, err := NewControlledPerLinkH(tbl, []float64{1}); err == nil {
+		t.Error("bad load length: want error")
+	}
+}
+
+func TestPerLinkHKLimitedReducesProtection(t *testing.T) {
+	// With the alternate suites capped at the 3 shortest per pair (as a
+	// K-shortest deployment would install), the per-link H^k genuinely
+	// varies on NSFNet and relaxes protection on links only short alternates
+	// traverse.
+	g := netmodel.NSFNet()
+	tbl, err := BuildMinHopK(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := PerLinkH(tbl)
+	globalH := tbl.MaxAltHops
+	varies := false
+	for id, h := range hs {
+		if h < 1 || h > globalH {
+			t.Fatalf("link %d: H^k = %d outside [1,%d]", id, h, globalH)
+		}
+		if h < globalH {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("K-limited suites should leave links with H^k < global H")
+	}
+	loads := make([]float64, g.NumLinks())
+	for i := range loads {
+		loads[i] = 80
+	}
+	pol, err := NewControlledPerLinkH(tbl, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := NewControlled(tbl, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced := 0
+	for id := range pol.R {
+		if pol.R[id] > global.R[id] {
+			t.Errorf("link %d: per-link r=%d exceeds global r=%d", id, pol.R[id], global.R[id])
+		}
+		if pol.R[id] < global.R[id] {
+			reduced++
+		}
+	}
+	if reduced == 0 {
+		t.Error("per-link H should relax protection on some links")
+	}
+}
+
+func TestBuildMinHopKCapsSuites(t *testing.T) {
+	g := netmodel.NSFNet()
+	tbl, err := BuildMinHopK(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := graph.NodeID(0); i < 12; i++ {
+		for j := graph.NodeID(0); j < 12; j++ {
+			if i == j {
+				continue
+			}
+			capped := tbl.Routes(i, j).Alternates
+			all := full.Routes(i, j).Alternates
+			if len(capped) > 2 {
+				t.Fatalf("%d→%d: %d alternates, want <= 2", i, j, len(capped))
+			}
+			for k := range capped {
+				if !capped[k].Equal(all[k]) {
+					t.Fatalf("%d→%d: capped suite is not a prefix of the full suite", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestControlledTieredSemantics(t *testing.T) {
+	g := netmodel.Quadrangle()
+	tbl, err := BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, g.NumLinks())
+	for i := range loads {
+		loads[i] = 90
+	}
+	pol, err := NewControlledTiered(tbl, loads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShort := erlang.ProtectionLevel(90, 100, 2)
+	wantLong := erlang.ProtectionLevel(90, 100, 3)
+	for id := range pol.RShort {
+		if pol.RShort[id] != wantShort || pol.RLong[id] != wantLong {
+			t.Fatalf("levels (%d,%d), want (%d,%d)", pol.RShort[id], pol.RLong[id], wantShort, wantLong)
+		}
+	}
+	if wantShort >= wantLong {
+		t.Fatalf("test assumes rShort < rLong (got %d, %d)", wantShort, wantLong)
+	}
+	// State where every non-direct link has occupancy C−rLong (refuses long
+	// class) but below C−rShort (admits short class): the 2-hop alternate
+	// must be admitted, and a hypothetical long path would not.
+	s := sim.NewState(g)
+	occupyDirect(t, g, s, 0, 1, 100)
+	for _, l := range g.Links() {
+		if l.From == 0 && l.To == 1 {
+			continue
+		}
+		occupyDirect(t, g, s, l.From, l.To, 100-wantLong)
+	}
+	c := sim.Call{ID: 0, Origin: 0, Dest: 1}
+	p, alt, ok := pol.Route(s, c)
+	if !ok || !alt || p.Hops() != 2 {
+		t.Errorf("tiered: got %v alt=%v ok=%v, want a 2-hop alternate", p, alt, ok)
+	}
+	// Plain controlled with the long levels everywhere blocks the same call.
+	plain := Controlled{T: tbl, R: pol.RLong}
+	if _, _, ok := plain.Route(s, c); ok {
+		t.Error("plain controlled should block where tiered admits the short class")
+	}
+	if pol.Name() != "controlled-tiered" {
+		t.Error("bad name")
+	}
+	if got := pol.PrimaryPath(s, c); got.Hops() != 1 {
+		t.Errorf("primary %v", got)
+	}
+}
+
+func TestNewControlledTieredValidation(t *testing.T) {
+	tbl, err := BuildMinHop(netmodel.Quadrangle(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, tbl.Graph().NumLinks())
+	if _, err := NewControlledTiered(tbl, loads[:1], 2); err == nil {
+		t.Error("bad load length: want error")
+	}
+	if _, err := NewControlledTiered(tbl, loads, 0); err == nil {
+		t.Error("splitHops 0: want error")
+	}
+	if _, err := NewControlledTiered(tbl, loads, 9); err == nil {
+		t.Error("splitHops > H: want error")
+	}
+}
+
+func TestTieredGuaranteeStatistical(t *testing.T) {
+	// The tiered variant must also never do worse than single-path.
+	g := netmodel.NSFNet()
+	m, _, err := traffic.NSFNetNominal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildMinHop(g, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := traffic.MinHopRouting(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := traffic.LinkLoads(g, m, pr)
+	tiered, err := NewControlledTiered(tbl, loads, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accSingle, accTiered, offered int64
+	for seed := int64(0); seed < 3; seed++ {
+		tr := sim.GenerateTrace(m, 60, seed)
+		rs, err := sim.Run(sim.Config{Graph: g, Policy: SinglePath{T: tbl}, Trace: tr, Warmup: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := sim.Run(sim.Config{Graph: g, Policy: tiered, Trace: tr, Warmup: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accSingle += rs.Accepted
+		accTiered += rt.Accepted
+		offered += rs.Offered
+	}
+	if accTiered+offered/500 < accSingle {
+		t.Errorf("tiered accepted %d < single-path %d", accTiered, accSingle)
+	}
+}

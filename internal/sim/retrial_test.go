@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/traffic"
+)
+
+func retrialFixture(t *testing.T) (*graph.Graph, paths.Path, *traffic.Matrix) {
+	t.Helper()
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	id := g.MustAddLink(a, b, 10)
+	p := paths.Path{Nodes: []graph.NodeID{a, b}, Links: []graph.LinkID{id}}
+	m := traffic.NewMatrix(2)
+	m.SetDemand(0, 1, 11)
+	return g, p, m
+}
+
+func TestRetrialZeroProbabilityMatchesRun(t *testing.T) {
+	g, p, m := retrialFixture(t)
+	tr := GenerateTrace(m, 110, 1)
+	want, err := Run(Config{Graph: g, Policy: fixedPolicy{p}, Trace: tr, Warmup: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunWithRetrials(RetrialConfig{
+		Config: Config{Graph: g, Policy: fixedPolicy{p}, Trace: tr, Warmup: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Accepted != want.Accepted || got.Blocked != want.Blocked {
+		t.Errorf("p=0 retrials: (%d,%d) vs plain (%d,%d)",
+			got.Accepted, got.Blocked, want.Accepted, want.Blocked)
+	}
+	if got.Retries != 0 || got.RetrySuccesses != 0 {
+		t.Errorf("p=0 generated retries: %d/%d", got.Retries, got.RetrySuccesses)
+	}
+}
+
+func TestRetrialsRescueSomeCalls(t *testing.T) {
+	g, p, m := retrialFixture(t)
+	tr := GenerateTrace(m, 210, 2)
+	base, err := RunWithRetrials(RetrialConfig{
+		Config: Config{Graph: g, Policy: fixedPolicy{p}, Trace: tr, Warmup: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried, err := RunWithRetrials(RetrialConfig{
+		Config:           Config{Graph: g, Policy: fixedPolicy{p}, Trace: tr, Warmup: 10},
+		RetryProbability: 0.8,
+		MeanBackoff:      0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retried.Retries == 0 || retried.RetrySuccesses == 0 {
+		t.Fatalf("no retrial activity: retries=%d successes=%d", retried.Retries, retried.RetrySuccesses)
+	}
+	// Retrials rescue calls: final blocking drops below the no-retry run.
+	if retried.Blocked >= base.Blocked {
+		t.Errorf("retrials did not reduce definitive blocking: %d vs %d",
+			retried.Blocked, base.Blocked)
+	}
+	// Conservation still holds on first-attempt accounting.
+	if retried.Offered != retried.Accepted+retried.Blocked {
+		t.Errorf("conservation: %d != %d + %d", retried.Offered, retried.Accepted, retried.Blocked)
+	}
+}
+
+func TestRetrialValidation(t *testing.T) {
+	g, p, m := retrialFixture(t)
+	tr := GenerateTrace(m, 20, 1)
+	if _, err := RunWithRetrials(RetrialConfig{
+		Config:           Config{Graph: g, Policy: fixedPolicy{p}, Trace: tr},
+		RetryProbability: 1.5,
+	}); err == nil {
+		t.Error("bad probability: want error")
+	}
+	if _, err := RunWithRetrials(RetrialConfig{}); err == nil {
+		t.Error("empty config: want error")
+	}
+	if _, err := RunWithRetrials(RetrialConfig{
+		Config: Config{Graph: g, Policy: fixedPolicy{p}, Trace: tr, Warmup: 99},
+	}); err == nil {
+		t.Error("warmup past horizon: want error")
+	}
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/paths"
+)
+
+// Policy decides how to route one call given the current network state.
+// Implementations live in internal/policy (single-path, uncontrolled and
+// controlled alternate routing, Ott–Krishnan shadow-price routing).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Route returns the path chosen for the call, whether that path is an
+	// alternate (not the call's primary), and whether the call is admitted
+	// at all. When admitted, every link of the returned path must currently
+	// admit the call under the policy's own rules.
+	Route(s *State, c Call) (p paths.Path, alternate bool, ok bool)
+	// PrimaryPath returns the primary path the policy would assign the call
+	// (used for loss attribution even when the call is blocked).
+	PrimaryPath(s *State, c Call) paths.Path
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Graph  *graph.Graph
+	Policy Policy
+	Trace  *Trace
+	// Warmup discards statistics for calls arriving before this epoch
+	// (paper: 10 time units from an idle network).
+	Warmup float64
+	// Horizon stops statistics collection at this epoch; calls arriving
+	// later are not offered. Zero means the trace horizon.
+	Horizon float64
+	// WindowLength, when positive, additionally collects per-window
+	// offered/blocked counts over the measurement interval — the time series
+	// the nonstationary studies plot. Windows are [Warmup + k·W, Warmup +
+	// (k+1)·W).
+	WindowLength float64
+}
+
+// WindowStats is one time window's counts.
+type WindowStats struct {
+	Start, End       float64
+	Offered, Blocked int64
+}
+
+// Result aggregates one run's statistics over the measurement window
+// [Warmup, Horizon).
+type Result struct {
+	Policy string
+	// Offered, Accepted and Blocked count calls arriving in the window.
+	Offered, Accepted, Blocked int64
+	// PrimaryAccepted and AlternateAccepted partition Accepted by route type.
+	PrimaryAccepted, AlternateAccepted int64
+	// PerPair maps O-D pairs to their offered/blocked counts.
+	PerPairOffered, PerPairBlocked map[[2]graph.NodeID]int64
+	// LostAtLink counts, per link, calls attributed as lost at that link
+	// (first blocking link of the primary path, per the paper's convention).
+	LostAtLink []int64
+	// LinkTimeUtil is the time-average occupancy of each link over the
+	// window, in calls.
+	LinkTimeUtil []float64
+	// CarriedHopCount sums hops over accepted calls (resource usage).
+	CarriedHopCount int64
+	// Windows holds the per-window time series when Config.WindowLength was
+	// set.
+	Windows []WindowStats
+}
+
+// Blocking returns the network-average blocking probability.
+func (r *Result) Blocking() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Blocked) / float64(r.Offered)
+}
+
+// PairBlocking returns the blocking probability of one O-D pair.
+func (r *Result) PairBlocking(i, j graph.NodeID) float64 {
+	off := r.PerPairOffered[[2]graph.NodeID{i, j}]
+	if off == 0 {
+		return 0
+	}
+	return float64(r.PerPairBlocked[[2]graph.NodeID{i, j}]) / float64(off)
+}
+
+// departure is a scheduled call teardown.
+type departure struct {
+	at   float64
+	path paths.Path
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}
+
+// Run replays the trace against the policy and returns the measurement
+// window statistics. Setup propagation is instantaneous: each call is
+// admitted or lost atomically at its arrival epoch, which matches the
+// paper's simulator. Run is deterministic.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil || cfg.Policy == nil || cfg.Trace == nil {
+		return nil, fmt.Errorf("sim: incomplete config")
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = cfg.Trace.Horizon
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= horizon {
+		return nil, fmt.Errorf("sim: warmup %v outside [0, %v)", cfg.Warmup, horizon)
+	}
+
+	st := NewState(cfg.Graph)
+	res := &Result{
+		Policy:         cfg.Policy.Name(),
+		PerPairOffered: make(map[[2]graph.NodeID]int64),
+		PerPairBlocked: make(map[[2]graph.NodeID]int64),
+		LostAtLink:     make([]int64, cfg.Graph.NumLinks()),
+		LinkTimeUtil:   make([]float64, cfg.Graph.NumLinks()),
+	}
+
+	var windows []WindowStats
+	windowOf := func(t float64) *WindowStats {
+		if cfg.WindowLength <= 0 || t < cfg.Warmup {
+			return nil
+		}
+		k := int((t - cfg.Warmup) / cfg.WindowLength)
+		for len(windows) <= k {
+			start := cfg.Warmup + float64(len(windows))*cfg.WindowLength
+			windows = append(windows, WindowStats{Start: start, End: start + cfg.WindowLength})
+		}
+		return &windows[k]
+	}
+
+	deps := &departureHeap{}
+	heap.Init(deps)
+	lastT := 0.0
+	accumulate := func(now float64) {
+		// Integrate occupancy over [lastT, now) clipped to the window.
+		lo := lastT
+		if lo < cfg.Warmup {
+			lo = cfg.Warmup
+		}
+		hi := now
+		if hi > horizon {
+			hi = horizon
+		}
+		if hi > lo {
+			dt := hi - lo
+			for id := range res.LinkTimeUtil {
+				res.LinkTimeUtil[id] += dt * float64(st.Occupancy(graph.LinkID(id)))
+			}
+		}
+		lastT = now
+	}
+
+	for _, c := range cfg.Trace.Calls {
+		if c.Arrival >= horizon {
+			break
+		}
+		// Process departures up to this arrival.
+		for deps.Len() > 0 && (*deps)[0].at <= c.Arrival {
+			d := heap.Pop(deps).(departure)
+			accumulate(d.at)
+			st.Release(d.path)
+		}
+		accumulate(c.Arrival)
+
+		measured := c.Arrival >= cfg.Warmup
+		pairKey := [2]graph.NodeID{c.Origin, c.Dest}
+		win := windowOf(c.Arrival)
+		if measured {
+			res.Offered++
+			res.PerPairOffered[pairKey]++
+			if win != nil {
+				win.Offered++
+			}
+		}
+		p, alternate, ok := cfg.Policy.Route(st, c)
+		if ok {
+			st.Occupy(p)
+			heap.Push(deps, departure{at: c.Arrival + c.Holding, path: p})
+			if measured {
+				res.Accepted++
+				res.CarriedHopCount += int64(p.Hops())
+				if alternate {
+					res.AlternateAccepted++
+				} else {
+					res.PrimaryAccepted++
+				}
+			}
+			continue
+		}
+		if measured {
+			res.Blocked++
+			res.PerPairBlocked[pairKey]++
+			if win != nil {
+				win.Blocked++
+			}
+			// Attribute the loss to the first blocking link of the primary
+			// path (paper's convention).
+			primary := cfg.Policy.PrimaryPath(st, c)
+			if admitted, blockLink := st.PathAdmitsPrimary(primary); !admitted && blockLink != graph.InvalidLink {
+				res.LostAtLink[blockLink]++
+			}
+		}
+	}
+	// Drain remaining departures inside the horizon for utilization.
+	for deps.Len() > 0 && (*deps)[0].at <= horizon {
+		d := heap.Pop(deps).(departure)
+		accumulate(d.at)
+		st.Release(d.path)
+	}
+	accumulate(horizon)
+	window := horizon - cfg.Warmup
+	for id := range res.LinkTimeUtil {
+		res.LinkTimeUtil[id] /= window
+	}
+	res.Windows = windows
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/paths"
+)
+
+// State is the instantaneous network state visible to routing policies: the
+// occupancy (number of calls in progress) of every link. In the paper's
+// architecture each node only consults the state of links incident on it,
+// checked hop-by-hop by the call set-up packet; the simulator's centralized
+// state with per-link admission checks is behaviourally identical when
+// set-up propagation is instantaneous (see signaling.go for the latency
+// variant).
+type State struct {
+	g   *graph.Graph
+	occ []int
+}
+
+// NewState returns an all-idle state for the graph.
+func NewState(g *graph.Graph) *State {
+	return &State{g: g, occ: make([]int, g.NumLinks())}
+}
+
+// Graph returns the underlying topology.
+func (s *State) Graph() *graph.Graph { return s.g }
+
+// Occupancy returns the number of calls in progress on the link.
+func (s *State) Occupancy(id graph.LinkID) int { return s.occ[id] }
+
+// Free returns the spare capacity of the link (0 for down links).
+func (s *State) Free(id graph.LinkID) int {
+	if !s.g.Up(id) {
+		return 0
+	}
+	return s.g.Link(id).Capacity - s.occ[id]
+}
+
+// AdmitsPrimary reports whether the link can accept one more primary-routed
+// call: it is up and has spare capacity.
+func (s *State) AdmitsPrimary(id graph.LinkID) bool {
+	return s.Free(id) >= 1
+}
+
+// AdmitsAlternate reports whether the link can accept one more
+// alternate-routed call under state-protection level r: the link refuses
+// alternates in its last r+1 states (C−r, …, C), i.e. it admits iff
+// occupancy <= C−r−1 (§2).
+func (s *State) AdmitsAlternate(id graph.LinkID, r int) bool {
+	if !s.g.Up(id) {
+		return false
+	}
+	c := s.g.Link(id).Capacity
+	if r < 0 {
+		r = 0
+	}
+	if r > c {
+		r = c
+	}
+	return s.occ[id] <= c-r-1
+}
+
+// PathAdmitsPrimary reports whether every link of the path admits a primary
+// call, and if not, the first blocking link (the paper's loss-attribution
+// convention: a call is lost at the link where it is first blocked).
+func (s *State) PathAdmitsPrimary(p paths.Path) (bool, graph.LinkID) {
+	for _, id := range p.Links {
+		if !s.AdmitsPrimary(id) {
+			return false, id
+		}
+	}
+	return true, graph.InvalidLink
+}
+
+// PathAdmitsAlternate reports whether every link of the path admits an
+// alternate call under the per-link protection levels r (indexed by LinkID;
+// nil means no protection anywhere, i.e. uncontrolled alternate routing).
+func (s *State) PathAdmitsAlternate(p paths.Path, r []int) (bool, graph.LinkID) {
+	for _, id := range p.Links {
+		prot := 0
+		if r != nil {
+			prot = r[id]
+		}
+		if !s.AdmitsAlternate(id, prot) {
+			return false, id
+		}
+	}
+	return true, graph.InvalidLink
+}
+
+// Occupy books one call on every link of the path. It panics if any link
+// lacks capacity — policies must have verified admission first.
+func (s *State) Occupy(p paths.Path) {
+	for _, id := range p.Links {
+		if s.Free(id) < 1 {
+			panic(fmt.Errorf("sim: occupying full or down link %d", id))
+		}
+		s.occ[id]++
+	}
+}
+
+// Release frees one call from every link of the path.
+func (s *State) Release(p paths.Path) {
+	for _, id := range p.Links {
+		if s.occ[id] <= 0 {
+			panic(fmt.Errorf("sim: releasing idle link %d", id))
+		}
+		s.occ[id]--
+	}
+}
+
+// OccupyLink and ReleaseLink book/free a single link; the two-phase
+// signaling runner uses them for hop-by-hop booking.
+func (s *State) OccupyLink(id graph.LinkID) {
+	if s.Free(id) < 1 {
+		panic(fmt.Errorf("sim: occupying full or down link %d", id))
+	}
+	s.occ[id]++
+}
+
+// ReleaseLink frees one call from a single link.
+func (s *State) ReleaseLink(id graph.LinkID) {
+	if s.occ[id] <= 0 {
+		panic(fmt.Errorf("sim: releasing idle link %d", id))
+	}
+	s.occ[id]--
+}
+
+// TotalOccupancy returns the sum of link occupancies (each call counts once
+// per hop).
+func (s *State) TotalOccupancy() int {
+	t := 0
+	for _, o := range s.occ {
+		t += o
+	}
+	return t
+}

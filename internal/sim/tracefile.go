@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// traceFileMagic guards against feeding arbitrary gob streams to ReadTrace.
+const traceFileMagic = "altroute-trace-v1"
+
+// Encode serializes the trace with encoding/gob (magic header + payload),
+// so expensive traces can be generated once and replayed by external tools
+// or across processes.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(traceFileMagic); err != nil {
+		return fmt.Errorf("sim: writing trace header: %w", err)
+	}
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("sim: writing trace: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by Encode and validates its
+// structural invariants (sorted arrivals, contiguous IDs, positive
+// holdings).
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var magic string
+	if err := dec.Decode(&magic); err != nil {
+		return nil, fmt.Errorf("sim: reading trace header: %w", err)
+	}
+	if magic != traceFileMagic {
+		return nil, fmt.Errorf("sim: not a trace file (header %q)", magic)
+	}
+	var t Trace
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("sim: reading trace: %w", err)
+	}
+	if t.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: trace horizon %v", t.Horizon)
+	}
+	prev := -1.0
+	for i, c := range t.Calls {
+		if c.ID != i {
+			return nil, fmt.Errorf("sim: trace call %d has ID %d", i, c.ID)
+		}
+		if c.Arrival < prev {
+			return nil, fmt.Errorf("sim: trace not sorted at call %d", i)
+		}
+		if c.Holding <= 0 || c.Arrival < 0 || c.Arrival >= t.Horizon || c.Origin == c.Dest {
+			return nil, fmt.Errorf("sim: malformed call %d: %+v", i, c)
+		}
+		prev = c.Arrival
+	}
+	return &t, nil
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestGenerateTraceVaryingConstantMatchesRate(t *testing.T) {
+	m := traffic.NewMatrix(2)
+	m.SetDemand(0, 1, 12)
+	tr, err := GenerateTraceVarying(m, ConstantProfile, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(len(tr.Calls)); math.Abs(got-6000) > 350 {
+		t.Errorf("arrivals %v, want ≈6000", got)
+	}
+	for i := 1; i < len(tr.Calls); i++ {
+		if tr.Calls[i].Arrival < tr.Calls[i-1].Arrival {
+			t.Fatal("trace not sorted")
+		}
+	}
+}
+
+func TestGenerateTraceVaryingRamp(t *testing.T) {
+	m := traffic.NewMatrix(2)
+	m.SetDemand(0, 1, 20)
+	tr, err := GenerateTraceVarying(m, RampProfile(0.5, 1.5, 400), 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average factor is 1.0 → ≈ 8000 arrivals total; the second half must
+	// carry clearly more than the first.
+	first, second := 0, 0
+	for _, c := range tr.Calls {
+		if c.Arrival < 200 {
+			first++
+		} else {
+			second++
+		}
+	}
+	if got := float64(first + second); math.Abs(got-8000) > 500 {
+		t.Errorf("total arrivals %v, want ≈8000", got)
+	}
+	// First half mean factor 0.75, second half 1.25 → ratio ≈ 5/3.
+	ratio := float64(second) / float64(first)
+	if ratio < 1.45 || ratio > 1.9 {
+		t.Errorf("second/first = %v, want ≈1.67", ratio)
+	}
+}
+
+func TestGenerateTraceVaryingDeterministicAndValidated(t *testing.T) {
+	m := traffic.NewMatrix(2)
+	m.SetDemand(0, 1, 5)
+	a, err := GenerateTraceVarying(m, SineProfile(0.5, 50), 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTraceVarying(m, SineProfile(0.5, 50), 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Calls) != len(b.Calls) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Calls {
+		if a.Calls[i] != b.Calls[i] {
+			t.Fatal("nondeterministic call")
+		}
+	}
+	if _, err := GenerateTraceVarying(m, nil, 0, 1); err == nil {
+		t.Error("bad horizon: want error")
+	}
+	if _, err := GenerateTraceVarying(m, func(float64) float64 { return math.NaN() }, 10, 1); err == nil {
+		t.Error("NaN profile: want error")
+	}
+	if _, err := GenerateTraceVarying(m, func(float64) float64 { return -1 }, 10, 1); err == nil {
+		t.Error("negative profile: want error")
+	}
+	zero, err := GenerateTraceVarying(m, func(float64) float64 { return 0 }, 10, 1)
+	if err != nil || len(zero.Calls) != 0 {
+		t.Errorf("zero profile: %v calls, err %v", len(zero.Calls), err)
+	}
+}
+
+func TestSineProfileClampsNegative(t *testing.T) {
+	p := SineProfile(2, 10) // amplitude 2 dips below zero
+	for _, tt := range []float64{0, 2.5, 5, 7.5, 10} {
+		if v := p(tt); v < 0 {
+			t.Errorf("profile(%v) = %v < 0", tt, v)
+		}
+	}
+	r := RampProfile(1, 2, 0) // degenerate horizon
+	if r(5) != 1 {
+		t.Errorf("degenerate ramp should return lo")
+	}
+}

@@ -1,0 +1,123 @@
+// Package stats provides the summary statistics used to report the paper's
+// experiments: means with normal-approximation confidence intervals over
+// simulation seeds, and distribution-shape measures (skewness, spread) for
+// the per-O-D-pair blocking fairness study of §4.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of replicated measurements.
+type Summary struct {
+	N            int
+	Mean, StdDev float64
+	Min, Max     float64
+	// HalfWidth95 is the half-width of the normal-approximation 95%
+	// confidence interval of the mean.
+	HalfWidth95 float64
+}
+
+// Summarize computes a Summary; it panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic(fmt.Errorf("stats: empty sample"))
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+		s.HalfWidth95 = 1.96 * s.StdDev / math.Sqrt(float64(len(xs)))
+	}
+	return s
+}
+
+// Skewness returns the adjusted Fisher–Pearson sample skewness; zero for
+// samples of fewer than 3 points or with zero variance.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	m2, m3 := 0.0, 0.0
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// CoefficientOfVariation returns stddev/mean (population stddev), a scale-
+// free spread measure; zero when the mean is zero.
+func CoefficientOfVariation(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation of
+// the sorted sample; it panics on an empty sample or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic(fmt.Errorf("stats: empty sample"))
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Errorf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("StdDev = %v, want sqrt(2.5)", s.StdDev)
+	}
+	want := 1.96 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(s.HalfWidth95-want) > 1e-12 {
+		t.Errorf("HalfWidth95 = %v, want %v", s.HalfWidth95, want)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.HalfWidth95 != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSkewness(t *testing.T) {
+	if got := Skewness([]float64{1, 2, 3}); math.Abs(got) > 1e-12 {
+		t.Errorf("symmetric sample skewness = %v", got)
+	}
+	if got := Skewness([]float64{1, 1, 1, 10}); got <= 0 {
+		t.Errorf("right-tailed sample skewness = %v, want > 0", got)
+	}
+	if got := Skewness([]float64{-10, 1, 1, 1}); got >= 0 {
+		t.Errorf("left-tailed sample skewness = %v, want < 0", got)
+	}
+	if got := Skewness([]float64{5, 5}); got != 0 {
+		t.Errorf("short sample skewness = %v, want 0", got)
+	}
+	if got := Skewness([]float64{2, 2, 2, 2}); got != 0 {
+		t.Errorf("constant sample skewness = %v, want 0", got)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := CoefficientOfVariation([]float64{4, 4, 4}); got != 0 {
+		t.Errorf("constant CV = %v", got)
+	}
+	got := CoefficientOfVariation([]float64{1, 3})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CV = %v, want 0.5", got)
+	}
+	if CoefficientOfVariation(nil) != 0 {
+		t.Error("empty CV should be 0")
+	}
+	if CoefficientOfVariation([]float64{-1, 1}) != 0 {
+		t.Error("zero-mean CV should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if got := Quantile([]float64{9}, 0.3); got != 9 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+	// Input must not be mutated (sorted copy).
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { Quantile(nil, 0.5) })
+	mustPanic("bad q", func() { Quantile([]float64{1}, 1.5) })
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		xs := make([]float64, 1+seed%20)
+		s := seed
+		for i := range xs {
+			s = s*1664525 + 1013904223
+			xs[i] = float64(s % 1000)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package traffic
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+)
+
+// nsfnetOnce caches the reconstructed nominal matrix: the fit is
+// deterministic, so one computation serves the whole process.
+var nsfnetOnce struct {
+	sync.Once
+	m   *Matrix
+	pr  *PrimaryRouting
+	err error
+}
+
+// NSFNetNominal returns the reconstructed nominal NSFNet traffic matrix
+// (Load = 10 in the paper's Figures 6 and 7) together with the deterministic
+// minimum-hop primary routing it was fitted under. The matrix is the
+// maximum-entropy-style IPF solution whose induced primary link loads equal
+// the Λ^k column of Table 1 (see FitLinkLoads and DESIGN.md §5).
+//
+// The returned values are shared, cached singletons; callers must treat them
+// as read-only (use Clone/Scaled for mutation).
+func NSFNetNominal() (*Matrix, *PrimaryRouting, error) {
+	nsfnetOnce.Do(func() {
+		g := netmodel.NSFNet()
+		pr, err := MinHopRouting(g)
+		if err != nil {
+			nsfnetOnce.err = fmt.Errorf("traffic: routing NSFNet: %w", err)
+			return
+		}
+		table := netmodel.NSFNetTable1Load()
+		targets := make([]float64, g.NumLinks())
+		for i := range targets {
+			targets[i] = -1
+		}
+		for pair, load := range table {
+			id := g.LinkBetween(pair[0], pair[1])
+			if id == graph.InvalidLink {
+				nsfnetOnce.err = fmt.Errorf("traffic: Table 1 link %v missing from topology", pair)
+				return
+			}
+			targets[id] = load
+		}
+		m, err := FitLinkLoads(g, pr, targets, FitOptions{})
+		if err != nil {
+			nsfnetOnce.err = fmt.Errorf("traffic: fitting NSFNet matrix: %w", err)
+			return
+		}
+		nsfnetOnce.m = m
+		nsfnetOnce.pr = pr
+	})
+	return nsfnetOnce.m, nsfnetOnce.pr, nsfnetOnce.err
+}

@@ -1,0 +1,190 @@
+// Package traffic models offered loads: the O-D traffic matrix T (Erlangs),
+// the induced per-link primary demand Λ^k of the paper's Equation 1, linear
+// load scaling, and reconstruction of the NSFNet nominal matrix from the
+// published per-link loads of Table 1 (the matrix itself is missing from the
+// available paper text; see DESIGN.md §5).
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/paths"
+)
+
+// Matrix is a dense O-D traffic matrix: Demand(i,j) is the offered load in
+// Erlangs from origin i to destination j. The diagonal is always zero.
+type Matrix struct {
+	n int
+	d []float64
+}
+
+// NewMatrix returns an all-zero n×n matrix.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		panic(fmt.Errorf("traffic: negative size %d", n))
+	}
+	return &Matrix{n: n, d: make([]float64, n*n)}
+}
+
+// Size returns the node count n.
+func (m *Matrix) Size() int { return m.n }
+
+// Demand returns T(i,j).
+func (m *Matrix) Demand(i, j graph.NodeID) float64 {
+	m.check(i, j)
+	return m.d[int(i)*m.n+int(j)]
+}
+
+// SetDemand sets T(i,j). Setting the diagonal or a negative demand panics.
+func (m *Matrix) SetDemand(i, j graph.NodeID, v float64) {
+	m.check(i, j)
+	if i == j {
+		panic(fmt.Errorf("traffic: diagonal demand %d→%d", i, j))
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Errorf("traffic: invalid demand %v", v))
+	}
+	m.d[int(i)*m.n+int(j)] = v
+}
+
+func (m *Matrix) check(i, j graph.NodeID) {
+	if i < 0 || int(i) >= m.n || j < 0 || int(j) >= m.n {
+		panic(fmt.Errorf("traffic: index (%d,%d) out of range for %d nodes", i, j, m.n))
+	}
+}
+
+// Total returns the network-wide offered load Σ T(i,j) in Erlangs.
+func (m *Matrix) Total() float64 {
+	t := 0.0
+	for _, v := range m.d {
+		t += v
+	}
+	return t
+}
+
+// Scaled returns a copy of the matrix with every entry multiplied by factor.
+// The paper's load sweeps scale the nominal matrix linearly (§4.2.2).
+func (m *Matrix) Scaled(factor float64) *Matrix {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Errorf("traffic: invalid scale factor %v", factor))
+	}
+	out := NewMatrix(m.n)
+	for i, v := range m.d {
+		out.d[i] = v * factor
+	}
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.n)
+	copy(out.d, m.d)
+	return out
+}
+
+// Uniform returns an n×n matrix with every off-diagonal entry set to demand.
+// This is the symmetric workload of the quadrangle experiment (§4.1), where
+// the per-pair demand equals the per-link primary load because every primary
+// path is the one-hop direct link.
+func Uniform(n int, demand float64) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.SetDemand(graph.NodeID(i), graph.NodeID(j), demand)
+			}
+		}
+	}
+	return m
+}
+
+// PrimaryRouting holds one primary path per ordered O-D pair.
+type PrimaryRouting struct {
+	n     int
+	route map[[2]graph.NodeID]paths.Path
+}
+
+// MinHopRouting computes the deterministic minimum-hop primary path for
+// every ordered pair of distinct nodes (the paper's demonstration SI rule).
+// It returns an error if any pair is unreachable.
+func MinHopRouting(g *graph.Graph) (*PrimaryRouting, error) {
+	n := g.NumNodes()
+	pr := &PrimaryRouting{n: n, route: make(map[[2]graph.NodeID]paths.Path, n*(n-1))}
+	for i := graph.NodeID(0); int(i) < n; i++ {
+		for j := graph.NodeID(0); int(j) < n; j++ {
+			if i == j {
+				continue
+			}
+			p, ok := paths.MinHop(g, i, j)
+			if !ok {
+				return nil, fmt.Errorf("traffic: no path %d→%d", i, j)
+			}
+			pr.route[[2]graph.NodeID{i, j}] = p
+		}
+	}
+	return pr, nil
+}
+
+// Path returns the primary path for the ordered pair (i, j).
+func (pr *PrimaryRouting) Path(i, j graph.NodeID) (paths.Path, bool) {
+	p, ok := pr.route[[2]graph.NodeID{i, j}]
+	return p, ok
+}
+
+// Pairs returns the number of routed ordered pairs.
+func (pr *PrimaryRouting) Pairs() int { return len(pr.route) }
+
+// LinkLoads computes the primary traffic demand Λ^k on every link
+// (Equation 1): the sum of T(i,j) over all pairs whose primary path
+// traverses link k. The result is indexed by LinkID.
+func LinkLoads(g *graph.Graph, m *Matrix, pr *PrimaryRouting) []float64 {
+	loads := make([]float64, g.NumLinks())
+	for pair, p := range pr.route {
+		d := m.Demand(pair[0], pair[1])
+		if d == 0 {
+			continue
+		}
+		for _, id := range p.Links {
+			loads[id] += d
+		}
+	}
+	return loads
+}
+
+// Gravity returns a matrix where T(i,j) ∝ weight_i·weight_j, scaled so the
+// total offered load is total Erlangs — the standard prior for synthesizing
+// demand from node sizes (populations, port counts). Weights must be
+// positive and at least two nodes are required.
+func Gravity(weights []float64, total float64) (*Matrix, error) {
+	n := len(weights)
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: gravity needs >= 2 nodes (got %d)", n)
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("traffic: gravity total %v", total)
+	}
+	for i, wt := range weights {
+		if wt <= 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, fmt.Errorf("traffic: gravity weight %v at %d", wt, i)
+		}
+	}
+	m := NewMatrix(n)
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				norm += weights[i] * weights[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.SetDemand(graph.NodeID(i), graph.NodeID(j), total*weights[i]*weights[j]/norm)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,69 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Error("Mix not deterministic")
+	}
+	if Mix(1, 2, 3) == Mix(1, 3, 2) {
+		t.Error("Mix should be order sensitive")
+	}
+	if Mix(1) == Mix(2) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNewStreamsIndependentOfOrder(t *testing.T) {
+	a1 := New(7, 0, 1).Float64()
+	_ = New(7, 3, 4).Float64() // interleave another stream
+	a2 := New(7, 0, 1).Float64()
+	if a1 != a2 {
+		t.Error("stream (7,0,1) not reproducible")
+	}
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	r := New(42)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := Exp(r, 2.5)
+		if v <= 0 {
+			t.Fatalf("Exp returned %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("sample mean %v, want ≈2.5", mean)
+	}
+}
+
+func TestUniform01Range(t *testing.T) {
+	f := func(seed int64, k1, k2 int64) bool {
+		u := Uniform01(seed, k1, k2)
+		return u >= 0 && u < 1 && u == Uniform01(seed, k1, k2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniform01Distribution(t *testing.T) {
+	// Crude uniformity check over consecutive keys.
+	n := 100000
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		buckets[int(Uniform01(5, int64(i))*10)]++
+	}
+	for b, c := range buckets {
+		if math.Abs(float64(c)-float64(n)/10) > float64(n)/10*0.1 {
+			t.Errorf("bucket %d count %d deviates >10%% from uniform", b, c)
+		}
+	}
+}

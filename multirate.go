@@ -1,0 +1,65 @@
+package altroute
+
+import (
+	"repro/internal/multirate"
+)
+
+// Multi-rate extension: heterogeneous call classes with per-class bandwidth,
+// the support the paper defers (§2). Protection levels come from the
+// Kaufman–Roberts analogue of Equation 15.
+type (
+	// CallClass is one traffic class (name, bandwidth units, per-pair
+	// demand matrix of call Erlangs).
+	CallClass = multirate.Class
+	// ClassLoad is one class's offered load on a single link.
+	ClassLoad = multirate.ClassLoad
+	// MultiRateTrace is a class-tagged arrival sequence.
+	MultiRateTrace = multirate.Trace
+	// MultiRateConfig parameterizes a multi-rate run.
+	MultiRateConfig = multirate.Config
+	// MultiRateResult aggregates a run, overall and per class.
+	MultiRateResult = multirate.Result
+	// MultiRateDiscipline selects the routing rule.
+	MultiRateDiscipline = multirate.Discipline
+)
+
+// Multi-rate disciplines.
+const (
+	// MultiRateSinglePath blocks a call when its primary path lacks
+	// bandwidth.
+	MultiRateSinglePath = multirate.SinglePath
+	// MultiRateUncontrolled overflows to any alternate with bandwidth.
+	MultiRateUncontrolled = multirate.Uncontrolled
+	// MultiRateControlled overflows only below the per-link protection
+	// boundary.
+	MultiRateControlled = multirate.Controlled
+)
+
+// KaufmanRoberts returns per-class blocking probabilities of a
+// complete-sharing link offered the given classes.
+func KaufmanRoberts(classes []ClassLoad, capacity int) ([]float64, error) {
+	return multirate.ClassBlocking(classes, capacity)
+}
+
+// MultiRateProtectionLevel generalizes Equation 15 to multiple classes: the
+// smallest r such that every class's Kaufman–Roberts blocking ratio stays
+// at or below 1/maxHops.
+func MultiRateProtectionLevel(classes []ClassLoad, capacity, maxHops int) (int, error) {
+	return multirate.ProtectionLevel(classes, capacity, maxHops)
+}
+
+// GenerateMultiRateTrace draws class-tagged Poisson arrivals.
+func GenerateMultiRateTrace(classes []CallClass, horizon float64, seed int64) (*MultiRateTrace, error) {
+	return multirate.GenerateTrace(classes, horizon, seed)
+}
+
+// DeriveMultiRateProtection computes per-link protection from the classes'
+// demands under the route table's primaries.
+func DeriveMultiRateProtection(g *Graph, t *RouteTable, classes []CallClass) ([]int, error) {
+	return multirate.DeriveProtection(g, t, classes)
+}
+
+// RunMultiRate replays a class-tagged trace under a discipline.
+func RunMultiRate(cfg MultiRateConfig) (*MultiRateResult, error) {
+	return multirate.Run(cfg)
+}

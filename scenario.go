@@ -1,0 +1,27 @@
+package altroute
+
+import (
+	"io"
+
+	"repro/internal/netio"
+)
+
+// Scenario types: JSON-serializable network descriptions for running the
+// scheme on user-supplied topologies (see cmd/altsim's custom and
+// export-scenario subcommands).
+type (
+	// Scenario describes a topology, workload and H parameter.
+	Scenario = netio.Scenario
+	// LinkSpec is one facility of a scenario.
+	LinkSpec = netio.LinkSpec
+	// DemandSpec is one ordered pair's offered load.
+	DemandSpec = netio.DemandSpec
+)
+
+// ReadScenario parses a scenario JSON document.
+func ReadScenario(r io.Reader) (*Scenario, error) { return netio.Read(r) }
+
+// ScenarioFromNetwork captures a graph and matrix as a scenario document.
+func ScenarioFromNetwork(name string, g *Graph, m *Matrix, h int) (*Scenario, error) {
+	return netio.FromNetwork(name, g, m, h)
+}
