@@ -1,0 +1,31 @@
+# Standard checks for this repository. `make check` is what CI (and you,
+# before sending a change) should run.
+
+GO ?= go
+
+.PHONY: check build vet test race fmt bench-obs
+
+check: fmt vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# gofmt -l prints nonconforming files; fail if there are any.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Observability overhead guard (see BENCH_obs.json for recorded numbers).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkRun(Bare|Instrumented)$$' -benchtime 1s -count 6 .

@@ -35,12 +35,15 @@
 package altroute
 
 import (
+	"io"
+
 	"repro/internal/bound"
 	"repro/internal/core"
 	"repro/internal/erlang"
 	"repro/internal/fixedpoint"
 	"repro/internal/graph"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/paths"
 	"repro/internal/policy"
@@ -93,6 +96,50 @@ type (
 	// SignalingResult extends RunResult with set-up race accounting.
 	SignalingResult = sim.SignalingResult
 )
+
+// Observability types (see internal/obs). Attach an EventSink via
+// RunConfig.Sink to receive the run's typed event stream; a nil sink costs a
+// single branch per event site.
+type (
+	// Event is one typed simulator event (call offered/admitted/blocked/
+	// departed, occupancy sample, window close, run markers).
+	Event = obs.Event
+	// EventKind discriminates Event payloads.
+	EventKind = obs.Kind
+	// EventSink consumes simulator events; implementations must be
+	// allocation-conscious (Event is passed by value).
+	EventSink = obs.Sink
+	// MetricsRegistry is an EventSink aggregating atomic counters and
+	// histograms, plus solver convergence traces, with JSON snapshots.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-exportable registry copy.
+	MetricsSnapshot = obs.Snapshot
+	// RunTotals is one run's counters re-aggregated from an event stream.
+	RunTotals = obs.RunTotals
+)
+
+// Observability constructors and helpers.
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewJSONLSink returns a sink that appends one JSON object per event to w
+// (buffered; call Flush before reading the destination).
+func NewJSONLSink(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewRingSink returns a sink retaining the last n events in memory.
+func NewRingSink(n int) *obs.Ring { return obs.NewRing(n) }
+
+// MultiSink fans events out to several sinks (nil entries are skipped).
+func MultiSink(sinks ...EventSink) EventSink { return obs.Multi(sinks...) }
+
+// ReadEventsJSONL decodes a JSONL event stream written by NewJSONLSink.
+func ReadEventsJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
+
+// AggregateEvents folds an event stream back into per-run totals; for any
+// instrumented run, the totals reproduce the corresponding RunResult counters
+// (and Blocking) exactly.
+func AggregateEvents(events []Event) []RunTotals { return obs.Aggregate(events) }
 
 // Topologies.
 

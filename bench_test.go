@@ -256,6 +256,42 @@ func BenchmarkPolicyNSFNet(b *testing.B) {
 	}
 }
 
+// --- Observability overhead guard (see BENCH_obs.json) ---
+
+// noopSink is the cheapest possible attached sink; the pair of benchmarks
+// below isolates the cost of the emission sites themselves (event
+// construction + interface dispatch), not of any consumer.
+type noopSink struct{}
+
+func (noopSink) Event(altroute.Event) {}
+
+func benchObsRun(b *testing.B, sink altroute.EventSink) {
+	g := altroute.Quadrangle()
+	m := altroute.UniformMatrix(4, 90)
+	scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := scheme.Controlled()
+	tr := altroute.GenerateTrace(m, 40, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := altroute.Run(altroute.RunConfig{
+			Graph: g, Policy: pol, Trace: tr, Warmup: 5, Sink: sink,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunBare is the disabled-observability baseline: a nil sink reduces
+// every emission site to a single predictable branch.
+func BenchmarkRunBare(b *testing.B) { benchObsRun(b, nil) }
+
+// BenchmarkRunInstrumented attaches a no-op sink, paying full event
+// construction and dispatch at every site.
+func BenchmarkRunInstrumented(b *testing.B) { benchObsRun(b, noopSink{}) }
+
 // --- Ablation benches for the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationProtectionLevel compares blocking across uniform

@@ -42,6 +42,11 @@
 //	all           run everything above with the paper's settings
 //
 // Common flags: -seeds, -warmup, -horizon, -loads, -H.
+//
+// Observability flags (any experiment): -events stream.jsonl writes the full
+// simulation event stream as JSONL; -metrics out.json writes a counters-and-
+// histograms snapshot on exit; -pprof addr serves net/http/pprof and expvar;
+// -progress 2s prints a progress line to stderr. See internal/obs.
 package main
 
 import (
@@ -76,10 +81,13 @@ func main() {
 	hFlag := fs.Int("H", 0, "maximum alternate hop length (0 = experiment default)")
 	csvPath := fs.String("csv", "", "also write sweep data as CSV to this file (quad/nsfnet/h6/ottkrishnan)")
 	scenario := fs.String("scenario", "", "scenario JSON file (custom)")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 	p := experiments.SimParams{Seeds: *seeds, Warmup: *warmup, Horizon: *horizon}
+	obsFinish = of.setup(&p)
+	defer obsFinish()
 	loads, err := parseLoads(*loadsFlag)
 	if err != nil {
 		fatal(err)
@@ -316,8 +324,13 @@ func must[T any](v T, err error) T {
 	return v
 }
 
+// obsFinish flushes observability outputs (event stream, metrics snapshot);
+// set once flags are parsed so fatal exits still persist what was captured.
+var obsFinish = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "altsim:", err)
+	obsFinish()
 	os.Exit(1)
 }
 
@@ -328,7 +341,8 @@ experiments: fig2 quad table1 nsfnet h6 failures skew minloss ottkrishnan
              overflow ramp dalfar hvariants focused peakedness generalize
              retrials insensitivity capacity custom export-scenario dot
              verify report bound all
-flags: -seeds N -warmup T -horizon T -loads a,b,c -H n -csv file`)
+flags: -seeds N -warmup T -horizon T -loads a,b,c -H n -csv file
+       -events stream.jsonl -metrics out.json -pprof addr -progress 2s`)
 }
 
 // runCustom executes the single-path / uncontrolled / controlled comparison
@@ -373,7 +387,10 @@ func runCustom(path string, h int, p experiments.SimParams) {
 		var xs []float64
 		for seed := 0; seed < p.Seeds; seed++ {
 			tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
-			res, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup})
+			res, err := sim.Run(sim.Config{
+				Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup,
+				Sink: p.Sink, OccupancyEvents: p.OccupancyEvents,
+			})
 			if err != nil {
 				fatal(err)
 			}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// obsOptions carries the observability flag values shared by every
+// experiment subcommand.
+type obsOptions struct {
+	events   string        // JSONL event-stream destination
+	metrics  string        // metrics-snapshot destination (JSON)
+	pprof    string        // pprof/expvar listen address
+	progress time.Duration // stderr progress interval (0 = off)
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsOptions {
+	var o obsOptions
+	fs.StringVar(&o.events, "events", "", "write the simulation event stream as JSONL to this file")
+	fs.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot as JSON to this file on exit")
+	fs.StringVar(&o.pprof, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	fs.DurationVar(&o.progress, "progress", 0, "print a progress line to stderr at this interval (e.g. 2s)")
+	return &o
+}
+
+// enabled reports whether any observability flag was set.
+func (o *obsOptions) enabled() bool {
+	return o.events != "" || o.metrics != "" || o.pprof != "" || o.progress > 0
+}
+
+// setup wires the observability flags into p and returns a finish function
+// that flushes the event stream, stops the progress ticker, and writes the
+// metrics snapshot. finish is idempotent and runs on both normal and fatal
+// exits (fatal calls it via obsFinish).
+func (o *obsOptions) setup(p *experiments.SimParams) func() {
+	if !o.enabled() {
+		return func() {}
+	}
+
+	reg := obs.NewRegistry()
+	p.Metrics = reg
+	sinks := []obs.Sink{reg}
+
+	var (
+		jsonl      *obs.JSONL
+		eventsFile *os.File
+	)
+	if o.events != "" {
+		f, err := os.Create(o.events)
+		if err != nil {
+			fatal(err)
+		}
+		eventsFile = f
+		jsonl = obs.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+		// Occupancy samples only when someone asked for the stream; they
+		// dominate its volume.
+		p.OccupancyEvents = true
+	}
+	p.Sink = obs.Multi(sinks...)
+
+	if o.pprof != "" {
+		// expvar and net/http/pprof self-register on DefaultServeMux;
+		// publishing the registry snapshot makes /debug/vars carry the live
+		// simulation counters.
+		expvar.Publish("altsim", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(o.pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "altsim: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "altsim: pprof/expvar on http://%s/debug/pprof\n", o.pprof)
+	}
+
+	stopProgress := make(chan struct{})
+	var progressDone sync.WaitGroup
+	if o.progress > 0 {
+		progressDone.Add(1)
+		go func() {
+			defer progressDone.Done()
+			tick := time.NewTicker(o.progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tick.C:
+					s := reg.Snapshot()
+					line := fmt.Sprintf("altsim: %d runs, %d events, %d offered, %d blocked",
+						s.Runs, s.Events, s.Offered, s.Blocked)
+					if s.Blocking != nil {
+						line += fmt.Sprintf(" (B=%.5f)", *s.Blocking)
+					}
+					fmt.Fprintln(os.Stderr, line)
+				}
+			}
+		}()
+	}
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopProgress)
+			progressDone.Wait()
+			if jsonl != nil {
+				if err := jsonl.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, "altsim: flushing event stream:", err)
+				}
+				if err := eventsFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "altsim: closing event stream:", err)
+				}
+			}
+			if o.metrics != "" {
+				f, err := os.Create(o.metrics)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "altsim: writing metrics:", err)
+					return
+				}
+				if err := reg.WriteJSON(f); err != nil {
+					f.Close()
+					fmt.Fprintln(os.Stderr, "altsim: writing metrics:", err)
+					return
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "altsim: writing metrics:", err)
+				}
+			}
+		})
+	}
+}

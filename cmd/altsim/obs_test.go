@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// TestObsSetupEndToEnd drives the -events/-metrics plumbing the way main
+// does: wire the flags into SimParams, run a real (small) experiment, finish,
+// and check that the persisted JSONL stream re-aggregates to exactly the
+// counters in the metrics snapshot.
+func TestObsSetupEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	o := obsOptions{
+		events:  filepath.Join(dir, "events.jsonl"),
+		metrics: filepath.Join(dir, "metrics.json"),
+	}
+	p := experiments.SimParams{Seeds: 2, Warmup: 5, Horizon: 30}
+	finish := o.setup(&p)
+	if p.Sink == nil || p.Metrics == nil || !p.OccupancyEvents {
+		t.Fatal("setup did not wire SimParams")
+	}
+
+	sweep, err := experiments.Quadrangle([]float64{90}, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.SeriesByName("controlled-alternate") == nil {
+		t.Fatal("experiment produced no controlled series")
+	}
+	finish()
+	finish() // idempotent
+
+	f, err := os.Open(o.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := obs.Aggregate(events)
+	// 2 seeds × 3 policies, in seed order because the sink serializes runs.
+	if len(runs) != 6 {
+		t.Fatalf("%d runs in stream, want 6", len(runs))
+	}
+	var offered, blocked int64
+	for _, r := range runs {
+		if r.Policy == "" {
+			t.Errorf("run missing policy name: %+v", r)
+		}
+		offered += r.Offered
+		blocked += r.Blocked
+	}
+
+	raw, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Runs != 6 {
+		t.Errorf("snapshot runs = %d, want 6", snap.Runs)
+	}
+	if snap.Offered != offered || snap.Blocked != blocked {
+		t.Errorf("snapshot offered/blocked %d/%d != stream aggregate %d/%d",
+			snap.Offered, snap.Blocked, offered, blocked)
+	}
+	if snap.Blocking == nil {
+		t.Fatal("snapshot blocking missing despite offered calls")
+	}
+	if want := float64(blocked) / float64(offered); *snap.Blocking != want {
+		t.Errorf("snapshot blocking %v != re-aggregated %v", *snap.Blocking, want)
+	}
+	if len(snap.LinkOccupancy) == 0 {
+		t.Error("no link-occupancy distributions despite OccupancyEvents")
+	}
+}
+
+// TestObsSetupDisabled checks that with no flags set, setup is a no-op and
+// simulation stays uninstrumented (the nil-sink fast path).
+func TestObsSetupDisabled(t *testing.T) {
+	var o obsOptions
+	var p experiments.SimParams
+	finish := o.setup(&p)
+	finish()
+	if p.Sink != nil || p.Metrics != nil || p.OccupancyEvents {
+		t.Fatal("disabled setup must leave SimParams untouched")
+	}
+}

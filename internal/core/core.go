@@ -43,6 +43,11 @@ type Options struct {
 	// know Λ^k a priori, and Table 1 publishes those values. Indexed by
 	// LinkID.
 	LoadOverride []float64
+	// ProtectionTrace, when non-nil, observes the Equation-15 search on
+	// every link: it is called for each candidate r examined with the loss
+	// ratio B(Λ^k,C^k)/B(Λ^k,C^k−r) — the scheme derivation's convergence
+	// trace (see internal/obs.ConvergenceTrace).
+	ProtectionTrace func(link graph.LinkID, r int, ratio float64)
 }
 
 // New derives a Scheme for min-hop SI primary routing (the paper's
@@ -81,7 +86,12 @@ func finish(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options
 	}
 	prot := make([]int, g.NumLinks())
 	for id := 0; id < g.NumLinks(); id++ {
-		prot[id] = erlang.ProtectionLevel(loads[id], g.Link(graph.LinkID(id)).Capacity, table.MaxAltHops)
+		var trace func(r int, ratio float64)
+		if opts.ProtectionTrace != nil {
+			link := graph.LinkID(id)
+			trace = func(r int, ratio float64) { opts.ProtectionTrace(link, r, ratio) }
+		}
+		prot[id] = erlang.ProtectionLevelTraced(loads[id], g.Link(graph.LinkID(id)).Capacity, table.MaxAltHops, trace)
 	}
 	return &Scheme{
 		Graph:      g,

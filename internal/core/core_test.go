@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -179,5 +180,39 @@ func TestControlledNeverWorseThanSinglePathQuadrangle(t *testing.T) {
 	if accControlled+slack < accSingle {
 		t.Errorf("controlled accepted %d < single-path %d (offered %d)",
 			accControlled, accSingle, offered)
+	}
+}
+
+func TestProtectionTraceObservesEverySearch(t *testing.T) {
+	g := netmodel.Quadrangle()
+	m := traffic.Uniform(4, 90)
+	perLink := make(map[graph.LinkID]int)
+	s, err := New(g, m, Options{ProtectionTrace: func(link graph.LinkID, r int, ratio float64) {
+		if ratio < 0 || ratio > 1+1e-12 {
+			t.Fatalf("link %d r=%d ratio %v outside [0,1]", link, r, ratio)
+		}
+		perLink[link]++
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perLink) != g.NumLinks() {
+		t.Fatalf("trace covered %d links, want %d", len(perLink), g.NumLinks())
+	}
+	// The search examines r = 0..r^k inclusive on each link.
+	for id, n := range perLink {
+		if want := s.Protection[id] + 1; n != want {
+			t.Errorf("link %d: %d candidates traced, want %d", id, n, want)
+		}
+	}
+	// The hook must not perturb derivation.
+	bare, err := New(g, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range s.Protection {
+		if s.Protection[id] != bare.Protection[id] {
+			t.Fatalf("trace changed protection on link %d: %d vs %d", id, s.Protection[id], bare.Protection[id])
+		}
 	}
 }

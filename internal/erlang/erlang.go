@@ -129,6 +129,15 @@ func Ratio(load float64, c1, c0 int) float64 {
 //
 // ProtectionLevel panics if capacity < 0 or maxHops < 1 or load < 0.
 func ProtectionLevel(load float64, capacity, maxHops int) int {
+	return ProtectionLevelTraced(load, capacity, maxHops, nil)
+}
+
+// ProtectionLevelTraced is ProtectionLevel with the Equation-15 search
+// instrumented: when trace is non-nil it observes every candidate r
+// examined, in search order, with its loss ratio B(Λ,C)/B(Λ,C−r) — the
+// quantity the search drives below 1/maxHops. The returned level and the
+// panics are identical to ProtectionLevel's.
+func ProtectionLevelTraced(load float64, capacity, maxHops int, trace func(r int, ratio float64)) int {
 	if capacity < 0 {
 		panic(fmt.Errorf("%w: capacity %d", ErrInvalidArgument, capacity))
 	}
@@ -152,7 +161,11 @@ func ProtectionLevel(load float64, capacity, maxHops int) int {
 	}
 	yC := ys[capacity]
 	for r := 0; r <= capacity; r++ {
-		if ys[capacity-r]/yC <= target {
+		ratio := ys[capacity-r] / yC
+		if trace != nil {
+			trace(r, ratio)
+		}
+		if ratio <= target {
 			return r
 		}
 	}

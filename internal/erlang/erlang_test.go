@@ -290,3 +290,55 @@ func TestPanics(t *testing.T) {
 	mustPanic("ProtectionLevel bad capacity", func() { ProtectionLevel(1, -1, 2) })
 	mustPanic("ProtectionLevel bad load", func() { ProtectionLevel(-1, 10, 2) })
 }
+
+func TestProtectionLevelTraced(t *testing.T) {
+	// The traced search must visit r = 0..result in order, report monotone
+	// non-increasing loss ratios, agree with ProtectionLevel, and end with
+	// the first ratio at or below 1/H.
+	for _, tc := range []struct {
+		load   float64
+		cap, h int
+	}{
+		{87.3, 100, 11}, {87.3, 100, 6}, {120, 100, 11}, {30, 48, 3},
+	} {
+		var rs []int
+		var ratios []float64
+		got := ProtectionLevelTraced(tc.load, tc.cap, tc.h, func(r int, ratio float64) {
+			rs = append(rs, r)
+			ratios = append(ratios, ratio)
+		})
+		want := ProtectionLevel(tc.load, tc.cap, tc.h)
+		if got != want {
+			t.Fatalf("(%v,%d,%d): traced %d != untraced %d", tc.load, tc.cap, tc.h, got, want)
+		}
+		if len(rs) == 0 {
+			t.Fatalf("(%v,%d,%d): no trace", tc.load, tc.cap, tc.h)
+		}
+		for i, r := range rs {
+			if r != i {
+				t.Fatalf("trace visited r=%d at step %d", r, i)
+			}
+			if i > 0 && ratios[i] > ratios[i-1]+1e-12 {
+				t.Fatalf("loss ratio increased at r=%d: %v > %v", r, ratios[i], ratios[i-1])
+			}
+			if want := Ratio(tc.load, tc.cap, tc.cap-r); math.Abs(ratios[i]-want) > 1e-9 {
+				t.Fatalf("r=%d ratio %v, want Ratio()=%v", r, ratios[i], want)
+			}
+		}
+		target := 1 / float64(tc.h)
+		last := ratios[len(ratios)-1]
+		if got < tc.cap && last > target {
+			t.Fatalf("search stopped at ratio %v above target %v", last, target)
+		}
+		for _, ratio := range ratios[:len(ratios)-1] {
+			if ratio <= target {
+				t.Fatalf("search passed a satisfying ratio %v (target %v)", ratio, target)
+			}
+		}
+	}
+	// Zero load: no candidates to search, level 0, hook never fires.
+	called := false
+	if got := ProtectionLevelTraced(0, 100, 11, func(int, float64) { called = true }); got != 0 || called {
+		t.Fatalf("zero load: got %d, called=%v", got, called)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bound"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -22,11 +23,23 @@ import (
 
 // SimParams are the common simulation parameters; the zero value means the
 // paper's settings (10 seeds, 100 measured time units after a 10-unit
-// warm-up).
+// warm-up) with observability disabled.
 type SimParams struct {
 	Seeds   int
 	Warmup  float64
 	Horizon float64
+	// Sink, when non-nil, receives every simulated run's event stream (see
+	// internal/obs). Attaching a sink serializes the per-seed runs that
+	// normally execute in parallel, so each run's events stay contiguous
+	// in the stream; results are unchanged either way.
+	Sink obs.Sink
+	// Metrics, when non-nil, additionally collects solver convergence
+	// traces (fixed point, Equation-15 search). To also count simulation
+	// events, include the registry in Sink (it is itself a sink; compose
+	// with obs.Multi).
+	Metrics *obs.Registry
+	// OccupancyEvents forwards per-link occupancy samples to Sink.
+	OccupancyEvents bool
 }
 
 func (p SimParams) withDefaults() SimParams {
@@ -106,28 +119,43 @@ func runPolicies(g *graph.Graph, m *traffic.Matrix, pols []sim.Policy, p SimPara
 		err      error
 	}
 	results := make([]seedResult, p.Seeds)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for seed := 0; seed < p.Seeds; seed++ {
-		wg.Add(1)
-		go func(seed int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
-			sr := seedResult{blocking: make([]float64, len(pols))}
-			for i, pol := range pols {
-				res, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup})
-				if err != nil {
-					sr.err = fmt.Errorf("experiments: %s seed %d: %w", pol.Name(), seed, err)
-					break
-				}
-				sr.blocking[i] = res.Blocking()
+	runSeed := func(seed int) {
+		tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
+		sr := seedResult{blocking: make([]float64, len(pols))}
+		for i, pol := range pols {
+			res, err := sim.Run(sim.Config{
+				Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup,
+				Sink: p.Sink, OccupancyEvents: p.OccupancyEvents,
+			})
+			if err != nil {
+				sr.err = fmt.Errorf("experiments: %s seed %d: %w", pol.Name(), seed, err)
+				break
 			}
-			results[seed] = sr
-		}(seed)
+			sr.blocking[i] = res.Blocking()
+		}
+		results[seed] = sr
 	}
-	wg.Wait()
+	if p.Sink != nil {
+		// An attached sink observes runs sequentially in seed order, so
+		// each run's events stay contiguous (RunStart..RunEnd) and the
+		// stream is deterministic; results are identical either way.
+		for seed := 0; seed < p.Seeds; seed++ {
+			runSeed(seed)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for seed := 0; seed < p.Seeds; seed++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runSeed(seed)
+			}(seed)
+		}
+		wg.Wait()
+	}
 	perPolicy := make(map[string][]float64, len(pols))
 	for seed := 0; seed < p.Seeds; seed++ {
 		if results[seed].err != nil {
@@ -161,7 +189,14 @@ func BlockingSweep(g *graph.Graph, xs []float64, h int,
 	bySeries := make(map[string][]Point)
 	for _, x := range xs {
 		m := makeMatrix(x)
-		scheme, err := core.New(g, m, core.Options{H: h})
+		opts := core.Options{H: h}
+		if p.Metrics != nil {
+			x := x
+			opts.ProtectionTrace = func(link graph.LinkID, r int, ratio float64) {
+				p.Metrics.Solver(fmt.Sprintf("eq15/load%g/link%d", x, link)).Observe(r, ratio, 0)
+			}
+		}
+		scheme, err := core.New(g, m, opts)
 		if err != nil {
 			return nil, err
 		}

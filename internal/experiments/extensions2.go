@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/estimate"
@@ -156,7 +157,14 @@ func FixedPointStudy(loads []float64, p SimParams) ([]FixedPointPoint, error) {
 	var out []FixedPointPoint
 	for _, load := range loads {
 		m := nominal.Scaled(load / 10)
-		fp, err := fixedpoint.Solve(g, m, tbl, fixedpoint.Options{})
+		var fpOpts fixedpoint.Options
+		if p.Metrics != nil {
+			ct := p.Metrics.Solver(fmt.Sprintf("fixedpoint/load%g", load))
+			fpOpts.OnIteration = func(iter int, residual float64, elapsed time.Duration) {
+				ct.Observe(iter, residual, elapsed.Nanoseconds())
+			}
+		}
+		fp, err := fixedpoint.Solve(g, m, tbl, fpOpts)
 		if err != nil {
 			return nil, err
 		}

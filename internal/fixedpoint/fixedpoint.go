@@ -14,6 +14,7 @@ package fixedpoint
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/erlang"
 	"repro/internal/graph"
@@ -30,6 +31,11 @@ type Options struct {
 	// Damping in (0,1] blends successive iterates (default 0.5, which
 	// guards against oscillation on heavily loaded cycles).
 	Damping float64
+	// OnIteration, when non-nil, observes each substitution sweep: the
+	// 0-based iteration index, the residual max |ΔB| after the sweep, and
+	// the wall time elapsed since Solve started. The convergence trace of
+	// the solve — pass obs.ConvergenceTrace.Observe (adapted) to export it.
+	OnIteration func(iter int, residual float64, elapsed time.Duration)
 }
 
 // Result is the converged approximation.
@@ -100,6 +106,10 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 	b := make([]float64, nl)
 	rho := make([]float64, nl)
 	next := make([]float64, nl)
+	var started time.Time
+	if opts.OnIteration != nil {
+		started = time.Now()
+	}
 	iter := 0
 	for ; iter < opts.MaxIterations; iter++ {
 		for k := range rho {
@@ -131,6 +141,9 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 			}
 		}
 		copy(b, next)
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, worst, time.Since(started))
+		}
 		if worst <= opts.Tolerance {
 			iter++
 			break

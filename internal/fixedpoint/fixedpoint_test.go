@@ -3,6 +3,7 @@ package fixedpoint
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/erlang"
 	"repro/internal/graph"
@@ -176,5 +177,66 @@ func TestSolveValidation(t *testing.T) {
 	}
 	if _, err := Solve(g, traffic.NewMatrix(3), tbl, Options{}); err == nil {
 		t.Error("size mismatch: want error")
+	}
+}
+
+func TestSolveOnIterationTrace(t *testing.T) {
+	g := netmodel.NSFNet()
+	m, _, err := traffic.NSFNetNominal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := policy.BuildMinHop(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		iter     int
+		residual float64
+		elapsed  time.Duration
+	}
+	var trace []rec
+	res, err := Solve(g, m, tbl, Options{
+		OnIteration: func(iter int, residual float64, elapsed time.Duration) {
+			trace = append(trace, rec{iter, residual, elapsed})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != res.Iterations {
+		t.Fatalf("%d trace records for %d iterations", len(trace), res.Iterations)
+	}
+	for i, r := range trace {
+		if r.iter != i {
+			t.Fatalf("record %d has iteration %d", i, r.iter)
+		}
+		if r.residual < 0 || math.IsNaN(r.residual) {
+			t.Fatalf("record %d residual %v", i, r.residual)
+		}
+		if r.elapsed < 0 {
+			t.Fatalf("record %d elapsed %v", i, r.elapsed)
+		}
+		if i > 0 && r.elapsed < trace[i-1].elapsed {
+			t.Fatalf("elapsed time went backwards at record %d", i)
+		}
+	}
+	// The final residual met the (default) tolerance; the first did not —
+	// the trace really is a convergence curve.
+	if last := trace[len(trace)-1].residual; last > 1e-12 {
+		t.Errorf("final residual %v above default tolerance", last)
+	}
+	if first := trace[0].residual; first <= 1e-12 {
+		t.Errorf("first residual %v already converged; trace is degenerate", first)
+	}
+
+	// The hook must not perturb the solution.
+	bare, err := Solve(g, m, tbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.NetworkBlocking != res.NetworkBlocking || bare.Iterations != res.Iterations {
+		t.Errorf("hook changed the solve: %v/%d vs %v/%d",
+			res.NetworkBlocking, res.Iterations, bare.NetworkBlocking, bare.Iterations)
 	}
 }

@@ -1,0 +1,83 @@
+package obs
+
+import "math"
+
+// RunTotals is one run's accounting re-derived from its event stream. The
+// fields mirror sim.Result's measured counters, so a stream can cross-check
+// the simulator's own bookkeeping.
+type RunTotals struct {
+	// Policy and Seed identify the run (from its KindRunStart event; empty
+	// and zero for an unmarked stream).
+	Policy string `json:"policy,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// Offered, Accepted and Blocked count measured calls.
+	Offered  int64 `json:"offered"`
+	Accepted int64 `json:"accepted"`
+	Blocked  int64 `json:"blocked"`
+	// PrimaryAccepted and AlternateAccepted partition Accepted.
+	PrimaryAccepted   int64 `json:"primary_accepted"`
+	AlternateAccepted int64 `json:"alternate_accepted"`
+	// CarriedHopCount sums hops over accepted measured calls.
+	CarriedHopCount int64 `json:"carried_hop_count"`
+	// Departed counts teardowns (measured and not).
+	Departed int64 `json:"departed"`
+	// Windows counts closed measurement windows.
+	Windows int `json:"windows,omitempty"`
+}
+
+// Blocking returns the run's network-average blocking probability, NaN when
+// no measured call was offered (matching sim.Result.Blocking).
+func (t *RunTotals) Blocking() float64 {
+	if t.Offered == 0 {
+		return math.NaN()
+	}
+	return float64(t.Blocked) / float64(t.Offered)
+}
+
+// Aggregate replays an event stream into per-run totals. Runs are delimited
+// by KindRunStart events; events before the first marker (or a stream with
+// no markers) form one anonymous leading run. Only measured events enter
+// the blocking counters, so for a stream emitted by sim.Run each run's
+// Blocking equals the corresponding Result.Blocking exactly.
+func Aggregate(events []Event) []RunTotals {
+	var runs []RunTotals
+	cur := -1
+	ensure := func() *RunTotals {
+		if cur < 0 {
+			runs = append(runs, RunTotals{})
+			cur = len(runs) - 1
+		}
+		return &runs[cur]
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindRunStart:
+			runs = append(runs, RunTotals{Policy: e.Policy, Seed: e.Seed})
+			cur = len(runs) - 1
+		case KindCallOffered:
+			if e.Measured {
+				ensure().Offered++
+			}
+		case KindCallAdmitted:
+			if e.Measured {
+				t := ensure()
+				t.Accepted++
+				t.CarriedHopCount += int64(e.Hops)
+				if e.Alternate {
+					t.AlternateAccepted++
+				} else {
+					t.PrimaryAccepted++
+				}
+			}
+		case KindCallBlocked:
+			if e.Measured {
+				ensure().Blocked++
+			}
+		case KindCallDeparted:
+			ensure().Departed++
+		case KindWindowClosed:
+			ensure().Windows++
+		}
+	}
+	return runs
+}

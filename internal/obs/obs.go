@@ -1,0 +1,139 @@
+// Package obs is the simulator's observability layer: a typed event stream
+// emitted from the hot paths (internal/sim's event loop, the fixed-point and
+// Equation-15 solvers), cheap atomic counters and histograms aggregated
+// across runs, and sinks that persist or buffer the stream (JSONL files,
+// in-memory rings, fan-out).
+//
+// The layer is zero-dependency (standard library only) and designed around a
+// zero-cost-when-disabled contract: instrumented code holds a Sink that is
+// nil by default, and every emission sits behind a single nil-check, so the
+// uninstrumented path costs one never-taken branch per event site. Events
+// are flat value structs — emitting one allocates nothing.
+//
+// A run's Result is derivable from its event stream: Aggregate replays a
+// stream (or a JSONL file re-read with ReadJSONL) into per-run totals whose
+// Blocking matches sim.Result.Blocking exactly, so the two accountings can
+// be cross-checked.
+package obs
+
+import "fmt"
+
+// Kind discriminates the event types of the stream.
+type Kind uint8
+
+const (
+	// KindRunStart opens one simulation run's segment of the stream. The
+	// event carries the policy name and the trace seed.
+	KindRunStart Kind = iota + 1
+	// KindCallOffered records one call arrival (before routing). Drained
+	// carries the number of departures processed since the previous
+	// arrival — the event-loop work preceding this admission decision.
+	KindCallOffered
+	// KindCallAdmitted records an accepted call: Hops is the carried path
+	// length and Alternate reports whether the path was an alternate.
+	KindCallAdmitted
+	// KindCallBlocked records a lost call; Link is the first blocking link
+	// of the call's primary path (the paper's loss-attribution convention),
+	// or -1 when unattributed.
+	KindCallBlocked
+	// KindCallDeparted records one call teardown at the end of its holding
+	// time.
+	KindCallDeparted
+	// KindLinkOccupancy is a sample of one link's occupancy, emitted after
+	// the link's occupancy changed (admission or departure).
+	KindLinkOccupancy
+	// KindWindowClosed closes one measurement window with its
+	// offered/blocked counts (the nonstationary studies' time series).
+	KindWindowClosed
+	// KindRunEnd closes a run's segment; Offered and Blocked carry the
+	// run's measured totals as a cross-check.
+	KindRunEnd
+)
+
+var kindNames = [...]string{
+	KindRunStart:      "run-start",
+	KindCallOffered:   "call-offered",
+	KindCallAdmitted:  "call-admitted",
+	KindCallBlocked:   "call-blocked",
+	KindCallDeparted:  "call-departed",
+	KindLinkOccupancy: "link-occupancy",
+	KindWindowClosed:  "window-closed",
+	KindRunEnd:        "run-end",
+}
+
+// String returns the kind's wire name (used in JSONL output).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalText encodes the kind as its wire name.
+func (k Kind) MarshalText() ([]byte, error) {
+	if int(k) >= len(kindNames) || kindNames[k] == "" {
+		return nil, fmt.Errorf("obs: unknown event kind %d", int(k))
+	}
+	return []byte(kindNames[k]), nil
+}
+
+// UnmarshalText decodes a wire name back into the kind.
+func (k *Kind) UnmarshalText(text []byte) error {
+	s := string(text)
+	for i, name := range kindNames {
+		if name == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one simulator occurrence. A single flat struct (rather than one
+// type per kind) keeps emission allocation-free; fields not listed in the
+// kind's documentation are zero. Time is the simulation epoch.
+type Event struct {
+	Kind Kind    `json:"kind"`
+	Time float64 `json:"t"`
+	// Call, Origin and Dest identify the call for the Call* kinds.
+	Call   int `json:"call"`
+	Origin int `json:"origin"`
+	Dest   int `json:"dest"`
+	// Link and Occupancy carry the link sample (KindLinkOccupancy) or the
+	// blocking link (KindCallBlocked, -1 when unattributed).
+	Link      int `json:"link"`
+	Occupancy int `json:"occ"`
+	// Hops is the carried path length (KindCallAdmitted/KindCallDeparted).
+	Hops int `json:"hops"`
+	// Window indexes the closed window (KindWindowClosed).
+	Window int `json:"win"`
+	// Offered and Blocked carry window or run totals.
+	Offered int64 `json:"offered"`
+	Blocked int64 `json:"blocked"`
+	// Alternate marks an alternate-routed admission.
+	Alternate bool `json:"alt"`
+	// Measured marks events inside the measurement window [Warmup,
+	// Horizon); only measured events enter blocking statistics.
+	Measured bool `json:"measured"`
+	// Drained is the number of departures processed since the previous
+	// arrival (KindCallOffered).
+	Drained int `json:"drained"`
+	// Policy and Seed identify the run (KindRunStart).
+	Policy string `json:"policy,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// Sink consumes an event stream. Implementations shared across concurrently
+// executing runs must be safe for concurrent use (every sink in this package
+// is). Emission sites hold a Sink value that is nil when observability is
+// disabled, and must check for nil before calling Event.
+type Sink interface {
+	Event(e Event)
+}
+
+// NullSink discards every event; it exists to measure the cost of the
+// emission path itself (see BenchmarkRunInstrumented).
+type NullSink struct{}
+
+// Event implements Sink.
+func (NullSink) Event(Event) {}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONL writes one JSON object per event, newline-delimited. It is safe for
+// concurrent use; writes are buffered, so call Flush (or Close) before
+// reading the underlying file. The first write error is latched and reported
+// by Flush/Close/Err; subsequent events are dropped.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event implements Sink.
+func (s *JSONL) Event(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(&e)
+	}
+	s.mu.Unlock()
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *JSONL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Err returns the first error seen, without flushing.
+func (s *JSONL) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ReadJSONL decodes an event stream written by the JSONL sink. Blank lines
+// are skipped; any malformed line is an error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading jsonl: %w", err)
+	}
+	return events, nil
+}
+
+// Ring buffers the most recent events in memory — the test and debugging
+// sink. When full it overwrites the oldest event and counts the drop.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewRing returns a ring sink holding at most n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Event implements Sink.
+func (s *Ring) Event(e Event) {
+	s.mu.Lock()
+	if s.full {
+		s.dropped++
+	}
+	s.buf[s.next] = e
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (s *Ring) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]Event(nil), s.buf[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten.
+func (s *Ring) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// multi fans one stream out to several sinks in order.
+type multi []Sink
+
+func (m multi) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+// Multi returns a sink that forwards every event to each non-nil sink, in
+// argument order. It returns nil when no sink remains (preserving the
+// nil-disables-instrumentation convention) and the sink itself when exactly
+// one remains.
+func Multi(sinks ...Sink) Sink {
+	var out multi
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

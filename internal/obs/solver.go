@@ -1,0 +1,47 @@
+package obs
+
+import "sync"
+
+// SolverIteration is one record of an iterative solver's progress.
+type SolverIteration struct {
+	// Iteration is the 0-based iteration (or candidate) index.
+	Iteration int `json:"iter"`
+	// Residual is the solver's convergence measure at this iteration
+	// (max |ΔB| for the fixed point; the Equation-15 loss ratio for the
+	// protection-level search).
+	Residual float64 `json:"residual"`
+	// Nanos is the elapsed wall time since the solve started, when the
+	// solver reports timing (0 otherwise).
+	Nanos int64 `json:"nanos,omitempty"`
+}
+
+// ConvergenceTrace collects a solver's per-iteration records for export —
+// the raw material of convergence plots and steady-state detection. It is
+// safe for concurrent use; pass Observe as the solver's iteration hook.
+type ConvergenceTrace struct {
+	Name string
+
+	mu    sync.Mutex
+	iters []SolverIteration
+}
+
+// Observe appends one iteration record.
+func (t *ConvergenceTrace) Observe(iter int, residual float64, nanos int64) {
+	t.mu.Lock()
+	t.iters = append(t.iters, SolverIteration{Iteration: iter, Residual: residual, Nanos: nanos})
+	t.mu.Unlock()
+}
+
+// Iterations returns a copy of the collected records in observation order.
+func (t *ConvergenceTrace) Iterations() []SolverIteration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SolverIteration(nil), t.iters...)
+}
+
+// Len returns the number of records collected.
+func (t *ConvergenceTrace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.iters)
+}

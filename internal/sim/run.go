@@ -3,8 +3,10 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/paths"
 )
 
@@ -40,6 +42,17 @@ type Config struct {
 	// the nonstationary studies plot. Windows are [Warmup + k·W, Warmup +
 	// (k+1)·W).
 	WindowLength float64
+	// Sink, when non-nil, receives the run's typed event stream (see
+	// internal/obs): run markers, every offer/admission/blocking/departure,
+	// window closures, and (with OccupancyEvents) per-link occupancy
+	// samples. A nil Sink disables instrumentation entirely; each emission
+	// site costs one never-taken branch.
+	Sink obs.Sink
+	// OccupancyEvents additionally emits a LinkOccupancy sample for every
+	// link whose occupancy changes — the occupancy-trajectory stream, at
+	// roughly 2·hops extra events per carried call. Ignored when Sink is
+	// nil.
+	OccupancyEvents bool
 }
 
 // WindowStats is one time window's counts.
@@ -71,21 +84,35 @@ type Result struct {
 	Windows []WindowStats
 }
 
-// Blocking returns the network-average blocking probability.
+// Blocking returns the network-average blocking probability, or NaN when no
+// call was offered in the measurement window: a zero-offered run carries no
+// information, which is not the same as perfect service.
 func (r *Result) Blocking() float64 {
 	if r.Offered == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(r.Blocked) / float64(r.Offered)
 }
 
-// PairBlocking returns the blocking probability of one O-D pair.
+// PairBlocking returns the blocking probability of one O-D pair, or NaN
+// when the pair was never offered a call. Use PairBlockingOK to distinguish
+// the two cases explicitly.
 func (r *Result) PairBlocking(i, j graph.NodeID) float64 {
+	b, ok := r.PairBlockingOK(i, j)
+	if !ok {
+		return math.NaN()
+	}
+	return b
+}
+
+// PairBlockingOK returns the blocking probability of one O-D pair and
+// whether the pair was offered any call in the measurement window.
+func (r *Result) PairBlockingOK(i, j graph.NodeID) (float64, bool) {
 	off := r.PerPairOffered[[2]graph.NodeID{i, j}]
 	if off == 0 {
-		return 0
+		return 0, false
 	}
-	return float64(r.PerPairBlocked[[2]graph.NodeID{i, j}]) / float64(off)
+	return float64(r.PerPairBlocked[[2]graph.NodeID{i, j}]) / float64(off), true
 }
 
 // departure is a scheduled call teardown.
@@ -133,7 +160,32 @@ func Run(cfg Config) (*Result, error) {
 		LinkTimeUtil:   make([]float64, cfg.Graph.NumLinks()),
 	}
 
+	sink := cfg.Sink
+	occupancyEvents := sink != nil && cfg.OccupancyEvents
+	// sampleOccupancy reports each changed link's new occupancy.
+	sampleOccupancy := func(at float64, p paths.Path) {
+		for _, id := range p.Links {
+			sink.Event(obs.Event{
+				Kind: obs.KindLinkOccupancy, Time: at,
+				Link: int(id), Occupancy: st.Occupancy(id),
+			})
+		}
+	}
+
 	var windows []WindowStats
+	closedWindows := 0
+	// closeWindows emits WindowClosed for every fully elapsed window; the
+	// per-window counts are final once an arrival lands in a later window
+	// (arrivals are the only events that update window counts).
+	closeWindows := func(upTo int) {
+		for ; closedWindows < upTo; closedWindows++ {
+			w := windows[closedWindows]
+			sink.Event(obs.Event{
+				Kind: obs.KindWindowClosed, Time: w.End, Window: closedWindows,
+				Offered: w.Offered, Blocked: w.Blocked,
+			})
+		}
+	}
 	windowOf := func(t float64) *WindowStats {
 		if cfg.WindowLength <= 0 || t < cfg.Warmup {
 			return nil
@@ -142,6 +194,9 @@ func Run(cfg Config) (*Result, error) {
 		for len(windows) <= k {
 			start := cfg.Warmup + float64(len(windows))*cfg.WindowLength
 			windows = append(windows, WindowStats{Start: start, End: start + cfg.WindowLength})
+		}
+		if sink != nil {
+			closeWindows(k)
 		}
 		return &windows[k]
 	}
@@ -168,15 +223,32 @@ func Run(cfg Config) (*Result, error) {
 		lastT = now
 	}
 
+	if sink != nil {
+		sink.Event(obs.Event{Kind: obs.KindRunStart, Policy: res.Policy, Seed: cfg.Trace.Seed})
+	}
+	drained := 0
 	for _, c := range cfg.Trace.Calls {
 		if c.Arrival >= horizon {
 			break
 		}
-		// Process departures up to this arrival.
+		// Process departures up to this arrival. Simultaneous departures
+		// run before the arrival (heap pop on at <= Arrival), so freed
+		// capacity is visible to the admission decision — the event stream
+		// preserves that order.
 		for deps.Len() > 0 && (*deps)[0].at <= c.Arrival {
 			d := heap.Pop(deps).(departure)
 			accumulate(d.at)
 			st.Release(d.path)
+			if sink != nil {
+				sink.Event(obs.Event{
+					Kind: obs.KindCallDeparted, Time: d.at,
+					Hops: d.path.Hops(), Measured: d.at >= cfg.Warmup,
+				})
+				if occupancyEvents {
+					sampleOccupancy(d.at, d.path)
+				}
+				drained++
+			}
 		}
 		accumulate(c.Arrival)
 
@@ -189,6 +261,14 @@ func Run(cfg Config) (*Result, error) {
 			if win != nil {
 				win.Offered++
 			}
+		}
+		if sink != nil {
+			sink.Event(obs.Event{
+				Kind: obs.KindCallOffered, Time: c.Arrival, Call: c.ID,
+				Origin: int(c.Origin), Dest: int(c.Dest),
+				Measured: measured, Drained: drained,
+			})
+			drained = 0
 		}
 		p, alternate, ok := cfg.Policy.Route(st, c)
 		if ok {
@@ -203,8 +283,19 @@ func Run(cfg Config) (*Result, error) {
 					res.PrimaryAccepted++
 				}
 			}
+			if sink != nil {
+				sink.Event(obs.Event{
+					Kind: obs.KindCallAdmitted, Time: c.Arrival, Call: c.ID,
+					Origin: int(c.Origin), Dest: int(c.Dest),
+					Hops: p.Hops(), Alternate: alternate, Measured: measured,
+				})
+				if occupancyEvents {
+					sampleOccupancy(c.Arrival, p)
+				}
+			}
 			continue
 		}
+		blockAt := graph.InvalidLink
 		if measured {
 			res.Blocked++
 			res.PerPairBlocked[pairKey]++
@@ -216,7 +307,15 @@ func Run(cfg Config) (*Result, error) {
 			primary := cfg.Policy.PrimaryPath(st, c)
 			if admitted, blockLink := st.PathAdmitsPrimary(primary); !admitted && blockLink != graph.InvalidLink {
 				res.LostAtLink[blockLink]++
+				blockAt = blockLink
 			}
+		}
+		if sink != nil {
+			sink.Event(obs.Event{
+				Kind: obs.KindCallBlocked, Time: c.Arrival, Call: c.ID,
+				Origin: int(c.Origin), Dest: int(c.Dest),
+				Link: int(blockAt), Measured: measured,
+			})
 		}
 	}
 	// Drain remaining departures inside the horizon for utilization.
@@ -224,6 +323,15 @@ func Run(cfg Config) (*Result, error) {
 		d := heap.Pop(deps).(departure)
 		accumulate(d.at)
 		st.Release(d.path)
+		if sink != nil {
+			sink.Event(obs.Event{
+				Kind: obs.KindCallDeparted, Time: d.at,
+				Hops: d.path.Hops(), Measured: d.at >= cfg.Warmup,
+			})
+			if occupancyEvents {
+				sampleOccupancy(d.at, d.path)
+			}
+		}
 	}
 	accumulate(horizon)
 	window := horizon - cfg.Warmup
@@ -231,5 +339,12 @@ func Run(cfg Config) (*Result, error) {
 		res.LinkTimeUtil[id] /= window
 	}
 	res.Windows = windows
+	if sink != nil {
+		closeWindows(len(windows))
+		sink.Event(obs.Event{
+			Kind: obs.KindRunEnd, Time: horizon,
+			Offered: res.Offered, Blocked: res.Blocked,
+		})
+	}
 	return res, nil
 }

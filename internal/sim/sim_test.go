@@ -292,8 +292,14 @@ func TestRunLossAttribution(t *testing.T) {
 	if got := res.PairBlocking(0, 2); got <= 0 || got > 1 {
 		t.Errorf("PairBlocking(0,2) = %v", got)
 	}
-	if got := res.PairBlocking(1, 2); got != 0 {
-		t.Errorf("PairBlocking(1,2) = %v, want 0 (no traffic)", got)
+	if got := res.PairBlocking(1, 2); !math.IsNaN(got) {
+		t.Errorf("PairBlocking(1,2) = %v, want NaN (no traffic)", got)
+	}
+	if _, ok := res.PairBlockingOK(1, 2); ok {
+		t.Error("PairBlockingOK(1,2) ok = true, want false (no traffic)")
+	}
+	if b, ok := res.PairBlockingOK(0, 2); !ok || b != res.PairBlocking(0, 2) {
+		t.Errorf("PairBlockingOK(0,2) = %v,%v, want the PairBlocking value and ok", b, ok)
 	}
 }
 

@@ -7,17 +7,28 @@ import (
 	"io"
 )
 
-// traceFileMagic guards against feeding arbitrary gob streams to ReadTrace.
-const traceFileMagic = "altroute-trace-v1"
+// Trace file magics guard against feeding arbitrary gob streams to
+// ReadTrace. v1 files are magic + payload; v2 files carry an explicit
+// integer version between magic and payload, so future payload changes bump
+// traceFileVersion without inventing yet another magic, and old readers
+// reject newer files with a clear error instead of a gob mismatch.
+const (
+	traceFileMagicV1 = "altroute-trace-v1"
+	traceFileMagic   = "altroute-trace-v2"
+	traceFileVersion = 2
+)
 
-// Encode serializes the trace with encoding/gob (magic header + payload),
-// so expensive traces can be generated once and replayed by external tools
-// or across processes.
+// Encode serializes the trace with encoding/gob (magic header + version +
+// payload), so expensive traces can be generated once and replayed by
+// external tools or across processes.
 func (t *Trace) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := gob.NewEncoder(bw)
 	if err := enc.Encode(traceFileMagic); err != nil {
 		return fmt.Errorf("sim: writing trace header: %w", err)
+	}
+	if err := enc.Encode(traceFileVersion); err != nil {
+		return fmt.Errorf("sim: writing trace version: %w", err)
 	}
 	if err := enc.Encode(t); err != nil {
 		return fmt.Errorf("sim: writing trace: %w", err)
@@ -25,16 +36,28 @@ func (t *Trace) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadTrace deserializes a trace written by Encode and validates its
-// structural invariants (sorted arrivals, contiguous IDs, positive
-// holdings).
+// ReadTrace deserializes a trace written by Encode — either the legacy v1
+// layout or the versioned v2 layout — and validates its structural
+// invariants (sorted arrivals, contiguous IDs, positive holdings).
 func ReadTrace(r io.Reader) (*Trace, error) {
 	dec := gob.NewDecoder(bufio.NewReader(r))
 	var magic string
 	if err := dec.Decode(&magic); err != nil {
 		return nil, fmt.Errorf("sim: reading trace header: %w", err)
 	}
-	if magic != traceFileMagic {
+	switch magic {
+	case traceFileMagicV1:
+		// Legacy layout: payload follows the magic directly.
+	case traceFileMagic:
+		var version int
+		if err := dec.Decode(&version); err != nil {
+			return nil, fmt.Errorf("sim: reading trace version: %w", err)
+		}
+		if version != traceFileVersion {
+			return nil, fmt.Errorf("sim: trace version %d not supported (this reader handles up to %d)",
+				version, traceFileVersion)
+		}
+	default:
 		return nil, fmt.Errorf("sim: not a trace file (header %q)", magic)
 	}
 	var t Trace

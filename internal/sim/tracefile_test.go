@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// encodeV1 writes the legacy v1 layout (magic + payload, no version field),
+// byte-identical to what the previous Encode produced.
+func encodeV1(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(traceFileMagicV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadTraceV1BackCompat(t *testing.T) {
+	m := traffic.Uniform(3, 4)
+	orig := GenerateTrace(m, 30, 5)
+	back, err := ReadTrace(bytes.NewReader(encodeV1(t, orig)))
+	if err != nil {
+		t.Fatalf("reading v1 trace: %v", err)
+	}
+	if len(back.Calls) != len(orig.Calls) || back.Horizon != orig.Horizon || back.Seed != orig.Seed {
+		t.Fatalf("v1 round trip changed header: %+v", back)
+	}
+	for i := range orig.Calls {
+		if back.Calls[i] != orig.Calls[i] {
+			t.Fatalf("v1 call %d changed", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsNewerVersion(t *testing.T) {
+	m := traffic.Uniform(3, 4)
+	orig := GenerateTrace(m, 30, 5)
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(traceFileMagic); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(traceFileVersion + 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadTrace(&buf)
+	if err == nil {
+		t.Fatal("future version: want error")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("error %q does not mention the version", err)
+	}
+}
+
+func TestEncodeWritesV2(t *testing.T) {
+	m := traffic.Uniform(3, 4)
+	orig := GenerateTrace(m, 30, 5)
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(buf.Bytes()))
+	var magic string
+	if err := dec.Decode(&magic); err != nil {
+		t.Fatal(err)
+	}
+	if magic != traceFileMagic {
+		t.Fatalf("magic %q, want %q", magic, traceFileMagic)
+	}
+	var version int
+	if err := dec.Decode(&version); err != nil {
+		t.Fatal(err)
+	}
+	if version != traceFileVersion {
+		t.Fatalf("version %d, want %d", version, traceFileVersion)
+	}
+}
