@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fmt bench-obs
+.PHONY: check build vet test race fmt bench bench-obs
 
 check: fmt vet build race
 
@@ -25,6 +25,11 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Simulation-core throughput guard (see BENCH_sim.json for the recorded
+# before/after numbers; update it from this output when the core changes).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunCalls|BenchmarkEq15Search|BenchmarkFixedPoint' -benchmem -count 3 .
 
 # Observability overhead guard (see BENCH_obs.json for recorded numbers).
 bench-obs:

@@ -84,6 +84,12 @@ type (
 	Call = sim.Call
 	// Trace is an immutable arrival sequence replayable against any policy.
 	Trace = sim.Trace
+	// ArrivalSource yields calls lazily in arrival order; RunConfig.Source
+	// accepts one in place of a materialized Trace (O(pairs) memory).
+	ArrivalSource = sim.ArrivalSource
+	// ArrivalStream is the lazy per-pair Poisson merge behind GenerateTrace;
+	// it emits the identical call sequence without materializing it.
+	ArrivalStream = sim.Stream
 	// Policy routes calls against live network state.
 	Policy = sim.Policy
 	// RunConfig parameterizes a simulation run.
@@ -220,6 +226,15 @@ func GenerateTrace(m *Matrix, horizon float64, seed int64) *Trace {
 	return sim.GenerateTrace(m, horizon, seed)
 }
 
+// NewArrivalStream returns the streaming form of GenerateTrace: the same
+// call sequence, bit for bit, generated lazily in O(pairs) memory. Pass it
+// as RunConfig.Source for long-horizon runs where a materialized trace
+// would not fit; use GenerateTrace when several policies must replay the
+// identical sequence cheaply.
+func NewArrivalStream(m *Matrix, horizon float64, seed int64) (*ArrivalStream, error) {
+	return sim.NewStream(m, horizon, seed)
+}
+
 // Run replays a trace against a policy with instantaneous call set-up.
 func Run(cfg RunConfig) (*RunResult, error) { return sim.Run(cfg) }
 
@@ -240,6 +255,23 @@ func ErlangB(load float64, capacity int) float64 { return erlang.B(load, capacit
 // maximum alternate hop length maxHops.
 func ProtectionLevel(load float64, capacity, maxHops int) int {
 	return erlang.ProtectionLevel(load, capacity, maxHops)
+}
+
+// ErlangCache memoizes Erlang-B and Equation-15 evaluations by exact
+// argument bits; cached results are bit-identical to uncached ones. Share
+// one across the scheme derivations of a sweep to dedup repeated
+// (load, capacity) work. Not safe for concurrent use.
+type ErlangCache = erlang.Cache
+
+// NewErlangCache returns an empty ErlangCache.
+func NewErlangCache() *ErlangCache { return erlang.NewCache() }
+
+// ProtectionLevels computes the Equation-15 protection level for every link
+// of a network in one batch: loads and capacities are indexed by LinkID. A
+// non-nil cache dedups repeated (load, capacity) pairs across calls; nil
+// scopes the dedup to this batch.
+func ProtectionLevels(loads []float64, capacities []int, maxHops int, cache *ErlangCache) []int {
+	return erlang.ProtectionLevels(loads, capacities, maxHops, cache)
 }
 
 // LossBound returns the Theorem 1 upper bound B(load,C)/B(load,C−r) on the

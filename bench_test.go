@@ -256,6 +256,138 @@ func BenchmarkPolicyNSFNet(b *testing.B) {
 	}
 }
 
+// --- Simulation-core throughput guards (see BENCH_sim.json) ---
+
+// BenchmarkRunCalls measures end-to-end simulation throughput in calls/sec:
+// arrival generation plus the full event loop, NSFNet at nominal load under
+// the controlled policy. The "replay" variant isolates the event loop by
+// reusing one pregenerated trace; "stream" regenerates arrivals every
+// iteration
+// (the long-horizon usage streaming generation exists for).
+func BenchmarkRunCalls(b *testing.B) {
+	g := altroute.NSFNet()
+	m, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{H: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := scheme.Controlled()
+	const horizon, warmup = 60, 10
+
+	b.Run("stream", func(b *testing.B) {
+		var calls int64
+		carried := 0.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, err := altroute.NewArrivalStream(m, horizon, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := altroute.Run(altroute.RunConfig{Graph: g, Policy: pol, Source: src, Warmup: warmup})
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls += res.Offered
+			carried = res.Throughput()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(calls)/b.Elapsed().Seconds(), "calls/sec")
+		b.ReportMetric(carried, "carried/unit")
+	})
+
+	tr := altroute.GenerateTrace(m, horizon, 1)
+	b.Run("replay", func(b *testing.B) {
+		var calls int64
+		carried := 0.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := altroute.Run(altroute.RunConfig{Graph: g, Policy: pol, Trace: tr, Warmup: warmup})
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls += res.Offered
+			carried = res.Throughput()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(calls)/b.Elapsed().Seconds(), "calls/sec")
+		b.ReportMetric(carried, "carried/unit")
+	})
+}
+
+// BenchmarkEq15Search measures the Equation-15 protection-level derivation
+// as the scheme construction performs it: one search per link, across a
+// grid of load scalings of both paper networks (the shape of the
+// capacity/robustness sweeps). The "cold" variant starts every grid pass
+// with an empty Erlang cache, so it measures batch derivation with only
+// within-pass symmetry dedup; "shared" reuses one cache across passes — the
+// steady state of a sweep service re-deriving schemes over recurring link
+// profiles.
+func BenchmarkEq15Search(b *testing.B) {
+	type network struct {
+		loads []float64
+		caps  []int
+		h     int
+	}
+	collect := func(g *altroute.Graph, loads []float64, h int) network {
+		caps := make([]int, g.NumLinks())
+		for id := range caps {
+			caps[id] = g.Link(altroute.LinkID(id)).Capacity
+		}
+		return network{loads: loads, caps: caps, h: h}
+	}
+	qg := altroute.Quadrangle()
+	qm := altroute.UniformMatrix(4, 90)
+	qs, err := altroute.NewScheme(qg, qm, altroute.SchemeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ng := altroute.NSFNet()
+	nm, err := altroute.NSFNetNominalMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ns, err := altroute.NewScheme(ng, nm, altroute.SchemeOptions{H: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := []network{collect(qg, qs.LinkLoads, qs.H), collect(ng, ns.LinkLoads, ns.H)}
+	scales := []float64{0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4}
+	pass := func(cache *altroute.ErlangCache) int {
+		sum := 0
+		for _, net := range nets {
+			scaled := make([]float64, len(net.loads))
+			for _, scale := range scales {
+				for id, l := range net.loads {
+					scaled[id] = l * scale
+				}
+				for _, r := range altroute.ProtectionLevels(scaled, net.caps, net.h, cache) {
+					sum += r
+				}
+			}
+		}
+		return sum
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pass(altroute.NewErlangCache()) == 0 {
+				b.Fatal("degenerate protection levels")
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		cache := altroute.NewErlangCache()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pass(cache) == 0 {
+				b.Fatal("degenerate protection levels")
+			}
+		}
+	})
+}
+
 // --- Observability overhead guard (see BENCH_obs.json) ---
 
 // noopSink is the cheapest possible attached sink; the pair of benchmarks

@@ -382,22 +382,33 @@ func runCustom(path string, h int, p experiments.SimParams) {
 	}
 	fmt.Printf("scenario %q: %d nodes, %d links, %.1f Erlangs offered, H=%d\n",
 		scen.Name, g.NumNodes(), g.NumLinks(), m.Total(), scheme.H)
-	fmt.Printf("%-24s %12s %12s\n", "policy", "blocking", "±95%")
+	fmt.Printf("%-24s %12s %12s %14s\n", "policy", "blocking", "±95%", "calls/unit")
 	for _, pol := range []sim.Policy{scheme.SinglePath(), scheme.Uncontrolled(), scheme.Controlled()} {
-		var xs []float64
+		var xs, tps []float64
 		for seed := 0; seed < p.Seeds; seed++ {
-			tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
+			// Streaming arrivals: the generator's per-pair substreams make a
+			// fresh stream per policy replay the identical call sequence
+			// (common random numbers) in O(pairs) memory.
+			src, err := sim.NewStream(m, p.Horizon, int64(seed))
+			if err != nil {
+				fatal(err)
+			}
 			res, err := sim.Run(sim.Config{
-				Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup,
+				Graph: g, Policy: pol, Source: src, Warmup: p.Warmup,
 				Sink: p.Sink, OccupancyEvents: p.OccupancyEvents,
 			})
 			if err != nil {
 				fatal(err)
 			}
 			xs = append(xs, res.Blocking())
+			tps = append(tps, res.Throughput())
+			if p.Metrics != nil {
+				p.Metrics.AddSpan(res.Span)
+			}
 		}
 		sum := stats.Summarize(xs)
-		fmt.Printf("%-24s %12.5f %12.5f\n", pol.Name(), sum.Mean, sum.HalfWidth95)
+		tsum := stats.Summarize(tps)
+		fmt.Printf("%-24s %12.5f %12.5f %14.1f\n", pol.Name(), sum.Mean, sum.HalfWidth95, tsum.Mean)
 	}
 	if eb, err := bound.ErlangBound(g, m); err == nil {
 		fmt.Printf("%-24s %12.5f\n", "erlang-bound", eb.Blocking)

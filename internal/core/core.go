@@ -46,8 +46,16 @@ type Options struct {
 	// ProtectionTrace, when non-nil, observes the Equation-15 search on
 	// every link: it is called for each candidate r examined with the loss
 	// ratio B(Λ^k,C^k)/B(Λ^k,C^k−r) — the scheme derivation's convergence
-	// trace (see internal/obs.ConvergenceTrace).
+	// trace (see internal/obs.ConvergenceTrace). Tracing bypasses the
+	// Erlang cache so every link's search is observed in full.
 	ProtectionTrace func(link graph.LinkID, r int, ratio float64)
+	// ErlangCache, when non-nil, memoizes the Equation-15 searches across
+	// this derivation and any others sharing the cache — a load sweep that
+	// re-derives schemes hits mostly cached levels. Nil means a private
+	// cache scoped to this derivation (links related by symmetry still
+	// share their recursion). Cached results are bit-identical to uncached
+	// ones.
+	ErlangCache *erlang.Cache
 }
 
 // New derives a Scheme for min-hop SI primary routing (the paper's
@@ -84,14 +92,20 @@ func finish(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options
 	if len(loads) != g.NumLinks() {
 		return nil, fmt.Errorf("core: %d loads for %d links", len(loads), g.NumLinks())
 	}
-	prot := make([]int, g.NumLinks())
-	for id := 0; id < g.NumLinks(); id++ {
-		var trace func(r int, ratio float64)
-		if opts.ProtectionTrace != nil {
+	var prot []int
+	if opts.ProtectionTrace != nil {
+		prot = make([]int, g.NumLinks())
+		for id := 0; id < g.NumLinks(); id++ {
 			link := graph.LinkID(id)
-			trace = func(r int, ratio float64) { opts.ProtectionTrace(link, r, ratio) }
+			trace := func(r int, ratio float64) { opts.ProtectionTrace(link, r, ratio) }
+			prot[id] = erlang.ProtectionLevelTraced(loads[id], g.Link(link).Capacity, table.MaxAltHops, trace)
 		}
-		prot[id] = erlang.ProtectionLevelTraced(loads[id], g.Link(graph.LinkID(id)).Capacity, table.MaxAltHops, trace)
+	} else {
+		caps := make([]int, g.NumLinks())
+		for id := range caps {
+			caps[id] = g.Link(graph.LinkID(id)).Capacity
+		}
+		prot = erlang.ProtectionLevels(loads, caps, table.MaxAltHops, opts.ErlangCache)
 	}
 	return &Scheme{
 		Graph:      g,

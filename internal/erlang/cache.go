@@ -1,0 +1,81 @@
+// Shared Erlang-B caches. The scheme derivation evaluates Equation 15 once
+// per link, the fixed-point solver evaluates B(ρ_k, C_k) once per link per
+// sweep, and the capacity/robustness sweeps repeat both across load grids —
+// with heavy repetition of identical (load, capacity) arguments whenever the
+// network has any symmetry (every link of the quadrangle, the duplex pairs
+// of NSFNet). A Cache memoizes those evaluations exactly: a hit returns the
+// bit-identical float the recursion would produce, so cached and uncached
+// derivations are indistinguishable.
+package erlang
+
+import "math"
+
+type bKey struct {
+	load uint64 // math.Float64bits of the offered load
+	cap  int
+}
+
+type protKey struct {
+	load    uint64
+	cap     int
+	maxHops int
+}
+
+// Cache memoizes Erlang-B evaluations keyed by exact float bits. It is not
+// safe for concurrent use; give each goroutine its own, or guard it. The
+// zero value is NOT ready — use NewCache.
+type Cache struct {
+	b    map[bKey]float64
+	prot map[protKey]int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		b:    make(map[bKey]float64),
+		prot: make(map[protKey]int),
+	}
+}
+
+// B is the memoized form of the package-level B: identical values,
+// identical panics on invalid input.
+func (c *Cache) B(load float64, capacity int) float64 {
+	k := bKey{math.Float64bits(load), capacity}
+	if v, ok := c.b[k]; ok {
+		return v
+	}
+	v := B(load, capacity)
+	c.b[k] = v
+	return v
+}
+
+// ProtectionLevel is the memoized form of the package-level
+// ProtectionLevel: identical values, identical panics.
+func (c *Cache) ProtectionLevel(load float64, capacity, maxHops int) int {
+	k := protKey{math.Float64bits(load), capacity, maxHops}
+	if v, ok := c.prot[k]; ok {
+		return v
+	}
+	v := ProtectionLevel(load, capacity, maxHops)
+	c.prot[k] = v
+	return v
+}
+
+// ProtectionLevels computes the Equation-15 level for every link of a
+// network in one call: loads and capacities are indexed by link, maxHops is
+// the design parameter H. A non-nil cache dedups repeated (load, capacity)
+// pairs — links related by symmetry cost one recursion for the whole batch;
+// nil means a private cache scoped to this call.
+func ProtectionLevels(loads []float64, capacities []int, maxHops int, cache *Cache) []int {
+	if len(loads) != len(capacities) {
+		panic(ErrInvalidArgument)
+	}
+	if cache == nil {
+		cache = NewCache()
+	}
+	out := make([]int, len(loads))
+	for i := range loads {
+		out[i] = cache.ProtectionLevel(loads[i], capacities[i], maxHops)
+	}
+	return out
+}

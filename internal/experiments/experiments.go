@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bound"
 	"repro/internal/core"
+	"repro/internal/erlang"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -132,6 +133,12 @@ func runPolicies(g *graph.Graph, m *traffic.Matrix, pols []sim.Policy, p SimPara
 				break
 			}
 			sr.blocking[i] = res.Blocking()
+			if p.Metrics != nil {
+				// With the registry also attached as a sink, the accumulated
+				// span turns its accepted count into the carried-call rate
+				// (Snapshot.Throughput; cf. sim.Result.Throughput).
+				p.Metrics.AddSpan(res.Span)
+			}
 		}
 		results[seed] = sr
 	}
@@ -187,9 +194,15 @@ func BlockingSweep(g *graph.Graph, xs []float64, h int,
 	sweep := &Sweep{XLabel: "load"}
 	var names []string
 	bySeries := make(map[string][]Point)
+	// One Erlang cache for the whole sweep: consecutive load points share
+	// most of their (load, capacity) pairs on symmetric topologies, so later
+	// scheme derivations hit memoized Equation-15 levels (bit-identical to
+	// recomputation). Tracing bypasses the cache, so the two options do not
+	// interact.
+	cache := erlang.NewCache()
 	for _, x := range xs {
 		m := makeMatrix(x)
-		opts := core.Options{H: h}
+		opts := core.Options{H: h, ErlangCache: cache}
 		if p.Metrics != nil {
 			x := x
 			opts.ProtectionTrace = func(link graph.LinkID, r int, ratio float64) {

@@ -106,6 +106,16 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 	b := make([]float64, nl)
 	rho := make([]float64, nl)
 	next := make([]float64, nl)
+	caps := make([]int, nl)
+	for k := range caps {
+		caps[k] = g.Link(graph.LinkID(k)).Capacity
+	}
+	// Memoize B(ρ, C) across links and sweeps: links related by symmetry
+	// carry identical reduced loads every sweep, and once the iteration
+	// settles the loads repeat exactly — either way the O(C) recursion runs
+	// once per distinct argument pair. Cache hits are bit-identical to
+	// recomputation, so the converged fixed point is unchanged.
+	cache := erlang.NewCache()
 	var started time.Time
 	if opts.OnIteration != nil {
 		started = time.Now()
@@ -133,7 +143,7 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 				// value is exact from the first sweep.
 				next[k] = 1
 			} else {
-				bk := erlang.B(rho[k], g.Link(graph.LinkID(k)).Capacity)
+				bk := cache.B(rho[k], caps[k])
 				next[k] = (1-opts.Damping)*b[k] + opts.Damping*bk
 			}
 			if d := math.Abs(next[k] - b[k]); d > worst {

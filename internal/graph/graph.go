@@ -154,6 +154,13 @@ func (g *Graph) Link(id LinkID) Link {
 	return g.links[id]
 }
 
+// LinkView returns the graph's live link records in ID order, shared with
+// the graph itself: callers MUST treat the slice as read-only. It exists for
+// hot paths (the simulator's per-hop admission checks) that cannot afford a
+// record copy per access. The view reflects failure-state updates made via
+// SetDown, but not links added after it was taken.
+func (g *Graph) LinkView() []Link { return g.links }
+
 // LinkBetween returns the link from→to, or InvalidLink if none exists.
 // Down links are still returned; callers filter on Up state as needed.
 func (g *Graph) LinkBetween(from, to NodeID) LinkID {

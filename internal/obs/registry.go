@@ -70,6 +70,7 @@ type Registry struct {
 	drained     *IntHist
 
 	mu      sync.RWMutex
+	spanSum float64
 	linkOcc []*IntHist
 	solvers map[string]*ConvergenceTrace
 }
@@ -143,6 +144,20 @@ func (r *Registry) linkHist(link int) *IntHist {
 	return h
 }
 
+// AddSpan accumulates one completed run's measurement-window length
+// (sim.Result.Span). The total simulated time turns the event counters into
+// rates: Snapshot.Throughput is accepted calls per simulated time unit —
+// the registry-level form of sim.Result.Throughput. Safe for concurrent
+// use.
+func (r *Registry) AddSpan(span float64) {
+	if span <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.spanSum += span
+	r.mu.Unlock()
+}
+
 // Solver returns the named convergence trace, creating it on first use —
 // pass its Observe method as the solver's iteration hook.
 func (r *Registry) Solver(name string) *ConvergenceTrace {
@@ -176,6 +191,12 @@ type Snapshot struct {
 	// admission decision — the event-loop latency of an admission, in
 	// events.
 	DrainedPerArrival []int64 `json:"drained_per_arrival,omitempty"`
+	// SpanTotal is the simulated time accumulated via AddSpan (the sum of
+	// measurement windows across completed runs), and Throughput the carried
+	// call rate Accepted/SpanTotal over it — nil until some span is
+	// recorded.
+	SpanTotal  float64  `json:"span_total,omitempty"`
+	Throughput *float64 `json:"throughput,omitempty"`
 	// LinkOccupancy is, per link, the distribution of sampled occupancies
 	// (index = occupancy, in calls).
 	LinkOccupancy [][]int64 `json:"link_occupancy,omitempty"`
@@ -204,6 +225,11 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Blocking = &b
 	}
 	r.mu.RLock()
+	if r.spanSum > 0 {
+		s.SpanTotal = r.spanSum
+		tp := float64(s.Accepted) / r.spanSum
+		s.Throughput = &tp
+	}
 	if len(r.linkOcc) > 0 {
 		s.LinkOccupancy = make([][]int64, len(r.linkOcc))
 		for i, h := range r.linkOcc {

@@ -24,10 +24,14 @@ func ReorderDisjointFirst(t *Table) *Table {
 	out := &Table{
 		g:            t.g,
 		MaxAltHops:   t.MaxAltHops,
-		sets:         make(map[[2]graph.NodeID]*RouteSet, len(t.sets)),
+		n:            t.n,
+		sets:         make([]*RouteSet, len(t.sets)),
 		selectorSeed: t.selectorSeed,
 	}
 	for key, rs := range t.sets {
+		if rs == nil {
+			continue
+		}
 		prim := rs.Primaries[0].Path
 		onPrimary := make(map[graph.LinkID]bool, len(prim.Links))
 		for _, id := range prim.Links {

@@ -82,10 +82,12 @@ func NewControlled(t *Table, linkLoads []float64) (Controlled, error) {
 	if len(linkLoads) != g.NumLinks() {
 		return Controlled{}, fmt.Errorf("policy: %d loads for %d links", len(linkLoads), g.NumLinks())
 	}
-	r := make([]int, g.NumLinks())
-	for id := 0; id < g.NumLinks(); id++ {
-		r[id] = erlang.ProtectionLevel(linkLoads[id], g.Link(graph.LinkID(id)).Capacity, t.MaxAltHops)
+	caps := make([]int, g.NumLinks())
+	for id := range caps {
+		caps[id] = g.Link(graph.LinkID(id)).Capacity
 	}
+	// The shared-cache batch dedups links with equal (load, capacity).
+	r := erlang.ProtectionLevels(linkLoads, caps, t.MaxAltHops, nil)
 	return Controlled{T: t, R: r}, nil
 }
 

@@ -35,13 +35,16 @@ type RouteSet struct {
 	Alternates []paths.Path
 }
 
-// Table maps every ordered O-D pair to its route suite.
+// Table maps every ordered O-D pair to its route suite. Suites are stored
+// in a dense slice indexed by origin·N+dest — the per-call lookup is on the
+// simulator's hot path, and an array index beats hashing the pair.
 type Table struct {
 	g *graph.Graph
 	// MaxAltHops is the H parameter of Equation 15: the maximum hop length
 	// of any alternate-routed call.
 	MaxAltHops int
-	sets       map[[2]graph.NodeID]*RouteSet
+	n          int
+	sets       []*RouteSet
 	// selectorSeed drives the deterministic per-call primary choice for
 	// bifurcated primaries; policies sharing a table (or tables built with
 	// the same seed) make identical choices per call ID, preserving common
@@ -68,7 +71,7 @@ func BuildMinHopK(g *graph.Graph, maxAltHops, maxAlternates int) (*Table, error)
 	if maxAltHops <= 0 || maxAltHops > n-1 {
 		maxAltHops = n - 1
 	}
-	t := &Table{g: g, MaxAltHops: maxAltHops, sets: make(map[[2]graph.NodeID]*RouteSet, n*(n-1))}
+	t := &Table{g: g, MaxAltHops: maxAltHops, n: n, sets: make([]*RouteSet, n*n)}
 	for i := graph.NodeID(0); int(i) < n; i++ {
 		for j := graph.NodeID(0); int(j) < n; j++ {
 			if i == j {
@@ -82,7 +85,7 @@ func BuildMinHopK(g *graph.Graph, maxAltHops, maxAlternates int) (*Table, error)
 			if maxAlternates > 0 && len(alts) > maxAlternates {
 				alts = alts[:maxAlternates]
 			}
-			t.sets[[2]graph.NodeID{i, j}] = &RouteSet{
+			t.sets[int(i)*n+int(j)] = &RouteSet{
 				Primaries:  []WeightedPath{{Path: primary, Weight: 1}},
 				Alternates: alts,
 			}
@@ -101,7 +104,7 @@ func BuildBifurcated(g *graph.Graph, primaries map[[2]graph.NodeID][]WeightedPat
 	if maxAltHops <= 0 || maxAltHops > n-1 {
 		maxAltHops = n - 1
 	}
-	t := &Table{g: g, MaxAltHops: maxAltHops, sets: make(map[[2]graph.NodeID]*RouteSet, n*(n-1)), selectorSeed: selectorSeed}
+	t := &Table{g: g, MaxAltHops: maxAltHops, n: n, sets: make([]*RouteSet, n*n), selectorSeed: selectorSeed}
 	for i := graph.NodeID(0); int(i) < n; i++ {
 		for j := graph.NodeID(0); int(j) < n; j++ {
 			if i == j {
@@ -136,7 +139,7 @@ func BuildBifurcated(g *graph.Graph, primaries map[[2]graph.NodeID][]WeightedPat
 				}
 				alts = append(alts, p)
 			}
-			t.sets[key] = &RouteSet{Primaries: prim, Alternates: alts}
+			t.sets[int(i)*n+int(j)] = &RouteSet{Primaries: prim, Alternates: alts}
 		}
 	}
 	return t, nil
@@ -144,7 +147,10 @@ func BuildBifurcated(g *graph.Graph, primaries map[[2]graph.NodeID][]WeightedPat
 
 // Routes returns the route suite for an ordered pair (nil if absent).
 func (t *Table) Routes(i, j graph.NodeID) *RouteSet {
-	return t.sets[[2]graph.NodeID{i, j}]
+	if int(i) >= t.n || int(j) >= t.n || i < 0 || j < 0 {
+		return nil
+	}
+	return t.sets[int(i)*t.n+int(j)]
 }
 
 // Graph returns the topology the table was built over.
@@ -155,7 +161,7 @@ func (t *Table) Graph() *graph.Graph { return t.g }
 // the call ID, so every policy sharing the selector seed assigns the same
 // primary to the same call.
 func (t *Table) SelectPrimary(c sim.Call) paths.Path {
-	rs := t.sets[[2]graph.NodeID{c.Origin, c.Dest}]
+	rs := t.Routes(c.Origin, c.Dest)
 	if rs == nil || len(rs.Primaries) == 0 {
 		return paths.Path{}
 	}
@@ -178,7 +184,7 @@ func (t *Table) SelectPrimary(c sim.Call) paths.Path {
 // primaries — the pair's other primaries are *not* tried (the SI rule chose
 // prim; remaining paths of the suite are genuine alternates only).
 func (t *Table) alternatesFor(c sim.Call, prim paths.Path) []paths.Path {
-	rs := t.sets[[2]graph.NodeID{c.Origin, c.Dest}]
+	rs := t.Routes(c.Origin, c.Dest)
 	if rs == nil {
 		return nil
 	}

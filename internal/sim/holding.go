@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
-	"repro/internal/graph"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
 )
@@ -83,54 +81,18 @@ func (h HoldingDist) draw(r *rand.Rand) float64 {
 
 // GenerateTraceHolding is GenerateTrace with a selectable holding-time
 // distribution. HoldingExponential reproduces GenerateTrace's arrival
-// sequence but not its holding stream (the draws differ), so comparisons
-// across distributions should use this function for every variant.
+// sequence but not its holding stream (the draws differ — arrivals and
+// holdings use separate substreams so the arrival epochs are identical
+// across distributions), so comparisons across distributions should use
+// this function for every variant.
+//
+// Like GenerateTrace, this is a drain of the streaming generator
+// (NewStreamHolding); the merge heap's (epoch, origin, dest) total order
+// makes regenerated traces reproducible byte-for-byte, ties included.
 func GenerateTraceHolding(m *traffic.Matrix, horizon float64, seed int64, dist HoldingDist) (*Trace, error) {
-	if horizon <= 0 {
-		return nil, fmt.Errorf("sim: horizon %v", horizon)
+	s, err := NewStreamHolding(m, horizon, seed, dist)
+	if err != nil {
+		return nil, err
 	}
-	n := m.Size()
-	var calls []Call
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			rate := m.Demand(graph.NodeID(i), graph.NodeID(j))
-			if rate <= 0 {
-				continue
-			}
-			// Separate substreams for arrivals and holdings so the arrival
-			// epochs are identical across distributions (common random
-			// numbers at the arrival level).
-			ar := xrand.New(seed, int64(i), int64(j), 1)
-			hr := xrand.New(seed, int64(i), int64(j), 2)
-			t := 0.0
-			for {
-				t += xrand.Exp(ar, 1/rate)
-				if t >= horizon {
-					break
-				}
-				calls = append(calls, Call{
-					Origin:  graph.NodeID(i),
-					Dest:    graph.NodeID(j),
-					Arrival: t,
-					Holding: dist.draw(hr),
-				})
-			}
-		}
-	}
-	sort.Slice(calls, func(a, b int) bool {
-		if calls[a].Arrival != calls[b].Arrival {
-			return calls[a].Arrival < calls[b].Arrival
-		}
-		if calls[a].Origin != calls[b].Origin {
-			return calls[a].Origin < calls[b].Origin
-		}
-		return calls[a].Dest < calls[b].Dest
-	})
-	for i := range calls {
-		calls[i].ID = i
-	}
-	return &Trace{Calls: calls, Horizon: horizon, Seed: seed}, nil
+	return s.Materialize(), nil
 }

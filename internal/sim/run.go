@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -30,7 +29,12 @@ type Policy interface {
 type Config struct {
 	Graph  *graph.Graph
 	Policy Policy
+	// Trace supplies the arrival sequence as a materialized slice; Source
+	// supplies it as a stream (O(pairs) memory — see NewStream). Exactly one
+	// of the two must be set; when both are set the trace wins. The two
+	// paths are bit-identical for the same (matrix, horizon, seed).
 	Trace  *Trace
+	Source ArrivalSource
 	// Warmup discards statistics for calls arriving before this epoch
 	// (paper: 10 time units from an idle network).
 	Warmup float64
@@ -82,6 +86,20 @@ type Result struct {
 	// Windows holds the per-window time series when Config.WindowLength was
 	// set.
 	Windows []WindowStats
+	// Span is the measurement window length (horizon − warmup) the counters
+	// cover, in holding times.
+	Span float64
+}
+
+// Throughput returns the carried-call rate — accepted calls per unit time
+// over the measurement window — the common figure benchmarks and the
+// altsim -metrics snapshot report. It returns NaN for a Result without a
+// recorded span (hand-built fixtures).
+func (r *Result) Throughput() float64 {
+	if r.Span <= 0 {
+		return math.NaN()
+	}
+	return float64(r.Accepted) / r.Span
 }
 
 // Blocking returns the network-average blocking probability, or NaN when no
@@ -115,24 +133,77 @@ func (r *Result) PairBlockingOK(i, j graph.NodeID) (float64, bool) {
 	return float64(r.PerPairBlocked[[2]graph.NodeID{i, j}]) / float64(off), true
 }
 
-// departure is a scheduled call teardown.
-type departure struct {
-	at   float64
-	path paths.Path
+// departureHeap schedules call teardowns. It is a hand-rolled binary
+// min-heap on parallel primitive slices: sift operations move only an
+// (epoch, pool-slot) pair — no interface boxing, no pointer writes, no
+// write barriers — and the path of each in-progress call lives in a pooled
+// slice reused across departures, so steady-state heap traffic allocates
+// nothing. The sift algorithm mirrors container/heap exactly (same
+// comparisons, same swap sequence), so pop order — equal-epoch ties
+// included — matches the seed implementation bit-for-bit.
+type departureHeap struct {
+	at   []float64 // heap-ordered departure epochs
+	slot []int32   // pool slot of each heap entry
+	pool []paths.Path
+	free []int32 // reusable pool slots
 }
 
-type departureHeap []departure
+func (h *departureHeap) len() int { return len(h.at) }
 
-func (h departureHeap) Len() int            { return len(h) }
-func (h departureHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
-func (h *departureHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	d := old[n-1]
-	*h = old[:n-1]
-	return d
+// push schedules a teardown of path p at epoch at.
+func (h *departureHeap) push(at float64, p paths.Path) {
+	var s int32
+	if n := len(h.free); n > 0 {
+		s = h.free[n-1]
+		h.free = h.free[:n-1]
+		h.pool[s] = p
+	} else {
+		s = int32(len(h.pool))
+		h.pool = append(h.pool, p)
+	}
+	h.at = append(h.at, at)
+	h.slot = append(h.slot, s)
+	// Sift up (container/heap's up).
+	j := len(h.at) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h.at[j] < h.at[i]) {
+			break
+		}
+		h.at[i], h.at[j] = h.at[j], h.at[i]
+		h.slot[i], h.slot[j] = h.slot[j], h.slot[i]
+		j = i
+	}
+}
+
+// pop removes and returns the earliest scheduled teardown. The returned
+// path is only valid until the slot is reused by the next push.
+func (h *departureHeap) pop() (at float64, p paths.Path) {
+	n := len(h.at) - 1
+	at = h.at[0]
+	s := h.slot[0]
+	h.at[0], h.slot[0] = h.at[n], h.slot[n]
+	h.at, h.slot = h.at[:n], h.slot[:n]
+	// Sift down (container/heap's down).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.at[j2] < h.at[j1] {
+			j = j2
+		}
+		if !(h.at[j] < h.at[i]) {
+			break
+		}
+		h.at[i], h.at[j] = h.at[j], h.at[i]
+		h.slot[i], h.slot[j] = h.slot[j], h.slot[i]
+		i = j
+	}
+	h.free = append(h.free, s)
+	return at, h.pool[s]
 }
 
 // Run replays the trace against the policy and returns the measurement
@@ -140,12 +211,18 @@ func (h *departureHeap) Pop() interface{} {
 // admitted or lost atomically at its arrival epoch, which matches the
 // paper's simulator. Run is deterministic.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Graph == nil || cfg.Policy == nil || cfg.Trace == nil {
+	if cfg.Graph == nil || cfg.Policy == nil || (cfg.Trace == nil && cfg.Source == nil) {
 		return nil, fmt.Errorf("sim: incomplete config")
+	}
+	var src ArrivalSource
+	if cfg.Trace != nil {
+		src = &traceCursor{t: cfg.Trace}
+	} else {
+		src = cfg.Source
 	}
 	horizon := cfg.Horizon
 	if horizon <= 0 {
-		horizon = cfg.Trace.Horizon
+		horizon = src.Horizon()
 	}
 	if cfg.Warmup < 0 || cfg.Warmup >= horizon {
 		return nil, fmt.Errorf("sim: warmup %v outside [0, %v)", cfg.Warmup, horizon)
@@ -159,6 +236,12 @@ func Run(cfg Config) (*Result, error) {
 		LostAtLink:     make([]int64, cfg.Graph.NumLinks()),
 		LinkTimeUtil:   make([]float64, cfg.Graph.NumLinks()),
 	}
+	// Per-pair counters accumulate in dense matrices on the hot path (one
+	// index computation per call instead of two map insertions); the public
+	// map form is materialized once at the end.
+	numNodes := cfg.Graph.NumNodes()
+	pairOffered := make([]int64, numNodes*numNodes)
+	pairBlocked := make([]int64, numNodes*numNodes)
 
 	sink := cfg.Sink
 	occupancyEvents := sink != nil && cfg.OccupancyEvents
@@ -202,8 +285,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	deps := &departureHeap{}
-	heap.Init(deps)
 	lastT := 0.0
+	util := res.LinkTimeUtil
+	occ := st.occ
 	accumulate := func(now float64) {
 		// Integrate occupancy over [lastT, now) clipped to the window.
 		lo := lastT
@@ -216,36 +300,41 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if hi > lo {
 			dt := hi - lo
-			for id := range res.LinkTimeUtil {
-				res.LinkTimeUtil[id] += dt * float64(st.Occupancy(graph.LinkID(id)))
+			for id, o := range occ {
+				// Skipping idle links is exact: adding dt·0 = +0 is the
+				// floating-point identity on these non-negative sums.
+				if o != 0 {
+					util[id] += dt * float64(o)
+				}
 			}
 		}
 		lastT = now
 	}
 
 	if sink != nil {
-		sink.Event(obs.Event{Kind: obs.KindRunStart, Policy: res.Policy, Seed: cfg.Trace.Seed})
+		sink.Event(obs.Event{Kind: obs.KindRunStart, Policy: res.Policy, Seed: src.Seed()})
 	}
 	drained := 0
-	for _, c := range cfg.Trace.Calls {
-		if c.Arrival >= horizon {
+	for {
+		c, more := src.Next()
+		if !more || c.Arrival >= horizon {
 			break
 		}
 		// Process departures up to this arrival. Simultaneous departures
 		// run before the arrival (heap pop on at <= Arrival), so freed
 		// capacity is visible to the admission decision — the event stream
 		// preserves that order.
-		for deps.Len() > 0 && (*deps)[0].at <= c.Arrival {
-			d := heap.Pop(deps).(departure)
-			accumulate(d.at)
-			st.Release(d.path)
+		for deps.len() > 0 && deps.at[0] <= c.Arrival {
+			at, path := deps.pop()
+			accumulate(at)
+			st.Release(path)
 			if sink != nil {
 				sink.Event(obs.Event{
-					Kind: obs.KindCallDeparted, Time: d.at,
-					Hops: d.path.Hops(), Measured: d.at >= cfg.Warmup,
+					Kind: obs.KindCallDeparted, Time: at,
+					Hops: path.Hops(), Measured: at >= cfg.Warmup,
 				})
 				if occupancyEvents {
-					sampleOccupancy(d.at, d.path)
+					sampleOccupancy(at, path)
 				}
 				drained++
 			}
@@ -253,11 +342,14 @@ func Run(cfg Config) (*Result, error) {
 		accumulate(c.Arrival)
 
 		measured := c.Arrival >= cfg.Warmup
-		pairKey := [2]graph.NodeID{c.Origin, c.Dest}
-		win := windowOf(c.Arrival)
+		pairIdx := int(c.Origin)*numNodes + int(c.Dest)
+		var win *WindowStats
+		if cfg.WindowLength > 0 {
+			win = windowOf(c.Arrival)
+		}
 		if measured {
 			res.Offered++
-			res.PerPairOffered[pairKey]++
+			pairOffered[pairIdx]++
 			if win != nil {
 				win.Offered++
 			}
@@ -273,7 +365,7 @@ func Run(cfg Config) (*Result, error) {
 		p, alternate, ok := cfg.Policy.Route(st, c)
 		if ok {
 			st.Occupy(p)
-			heap.Push(deps, departure{at: c.Arrival + c.Holding, path: p})
+			deps.push(c.Arrival+c.Holding, p)
 			if measured {
 				res.Accepted++
 				res.CarriedHopCount += int64(p.Hops())
@@ -298,7 +390,7 @@ func Run(cfg Config) (*Result, error) {
 		blockAt := graph.InvalidLink
 		if measured {
 			res.Blocked++
-			res.PerPairBlocked[pairKey]++
+			pairBlocked[pairIdx]++
 			if win != nil {
 				win.Blocked++
 			}
@@ -319,22 +411,33 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	// Drain remaining departures inside the horizon for utilization.
-	for deps.Len() > 0 && (*deps)[0].at <= horizon {
-		d := heap.Pop(deps).(departure)
-		accumulate(d.at)
-		st.Release(d.path)
+	for deps.len() > 0 && deps.at[0] <= horizon {
+		at, path := deps.pop()
+		accumulate(at)
+		st.Release(path)
 		if sink != nil {
 			sink.Event(obs.Event{
-				Kind: obs.KindCallDeparted, Time: d.at,
-				Hops: d.path.Hops(), Measured: d.at >= cfg.Warmup,
+				Kind: obs.KindCallDeparted, Time: at,
+				Hops: path.Hops(), Measured: at >= cfg.Warmup,
 			})
 			if occupancyEvents {
-				sampleOccupancy(d.at, d.path)
+				sampleOccupancy(at, path)
 			}
 		}
 	}
 	accumulate(horizon)
-	window := horizon - cfg.Warmup
+	for i := 0; i < numNodes; i++ {
+		for j := 0; j < numNodes; j++ {
+			if v := pairOffered[i*numNodes+j]; v > 0 {
+				res.PerPairOffered[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = v
+			}
+			if v := pairBlocked[i*numNodes+j]; v > 0 {
+				res.PerPairBlocked[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = v
+			}
+		}
+	}
+	res.Span = horizon - cfg.Warmup
+	window := res.Span
 	for id := range res.LinkTimeUtil {
 		res.LinkTimeUtil[id] /= window
 	}

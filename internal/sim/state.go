@@ -17,11 +17,16 @@ import (
 type State struct {
 	g   *graph.Graph
 	occ []int
+	// links is the graph's live link-record view (see graph.LinkView):
+	// admission checks read capacity and failure state through it without a
+	// per-access record copy. Failure toggles remain visible; links added
+	// after NewState are not (occ is sized at creation anyway).
+	links []graph.Link
 }
 
 // NewState returns an all-idle state for the graph.
 func NewState(g *graph.Graph) *State {
-	return &State{g: g, occ: make([]int, g.NumLinks())}
+	return &State{g: g, occ: make([]int, g.NumLinks()), links: g.LinkView()}
 }
 
 // Graph returns the underlying topology.
@@ -30,12 +35,13 @@ func (s *State) Graph() *graph.Graph { return s.g }
 // Occupancy returns the number of calls in progress on the link.
 func (s *State) Occupancy(id graph.LinkID) int { return s.occ[id] }
 
-// Free returns the spare capacity of the link (0 for down links).
+// Free returns the spare capacity of the link (0 for down or unknown
+// links).
 func (s *State) Free(id graph.LinkID) int {
-	if !s.g.Up(id) {
+	if uint(id) >= uint(len(s.links)) || s.links[id].Down {
 		return 0
 	}
-	return s.g.Link(id).Capacity - s.occ[id]
+	return s.links[id].Capacity - s.occ[id]
 }
 
 // AdmitsPrimary reports whether the link can accept one more primary-routed
@@ -49,10 +55,10 @@ func (s *State) AdmitsPrimary(id graph.LinkID) bool {
 // alternates in its last r+1 states (C−r, …, C), i.e. it admits iff
 // occupancy <= C−r−1 (§2).
 func (s *State) AdmitsAlternate(id graph.LinkID, r int) bool {
-	if !s.g.Up(id) {
+	if uint(id) >= uint(len(s.links)) || s.links[id].Down {
 		return false
 	}
-	c := s.g.Link(id).Capacity
+	c := s.links[id].Capacity
 	if r < 0 {
 		r = 0
 	}

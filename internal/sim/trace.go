@@ -8,12 +8,8 @@
 package sim
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/graph"
 	"repro/internal/traffic"
-	"repro/internal/xrand"
 )
 
 // Call is one point-to-point call request (§2: origin, destination, and an
@@ -44,49 +40,15 @@ type Trace struct {
 // origin, dest), so the same (matrix, seed) always reproduces the same
 // trace, and scaling the matrix changes rates without perturbing unrelated
 // pairs' substreams.
+//
+// GenerateTrace materializes the whole arrival sequence; it is implemented
+// as a drain of NewStream, so replaying a trace and consuming the stream
+// directly are bit-identical. Prefer the streaming source (Config.Source)
+// for long horizons where O(calls) memory matters.
 func GenerateTrace(m *traffic.Matrix, horizon float64, seed int64) *Trace {
-	if horizon <= 0 {
-		panic(fmt.Errorf("sim: horizon %v", horizon))
+	s, err := NewStream(m, horizon, seed)
+	if err != nil {
+		panic(err)
 	}
-	n := m.Size()
-	var calls []Call
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			rate := m.Demand(graph.NodeID(i), graph.NodeID(j))
-			if rate <= 0 {
-				continue
-			}
-			r := xrand.New(seed, int64(i), int64(j))
-			t := 0.0
-			for {
-				t += xrand.Exp(r, 1/rate)
-				if t >= horizon {
-					break
-				}
-				calls = append(calls, Call{
-					Origin:  graph.NodeID(i),
-					Dest:    graph.NodeID(j),
-					Arrival: t,
-					Holding: xrand.Exp(r, 1),
-				})
-			}
-		}
-	}
-	sort.Slice(calls, func(a, b int) bool {
-		if calls[a].Arrival != calls[b].Arrival {
-			return calls[a].Arrival < calls[b].Arrival
-		}
-		// Stable deterministic order for (measure-zero) ties.
-		if calls[a].Origin != calls[b].Origin {
-			return calls[a].Origin < calls[b].Origin
-		}
-		return calls[a].Dest < calls[b].Dest
-	})
-	for i := range calls {
-		calls[i].ID = i
-	}
-	return &Trace{Calls: calls, Horizon: horizon, Seed: seed}
+	return s.Materialize()
 }
