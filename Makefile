@@ -3,15 +3,20 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fmt bench bench-obs
+.PHONY: check build vet lint test race fmt bench bench-obs fuzz-smoke
 
-check: fmt vet build race
+check: fmt vet build lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism & float-identity contract (DESIGN.md §9). Exits nonzero on
+# findings; suppress individual lines with `//altlint:ignore <rule> <reason>`.
+lint:
+	$(GO) run ./cmd/altlint ./...
 
 test:
 	$(GO) test ./...
@@ -34,3 +39,10 @@ bench:
 # Observability overhead guard (see BENCH_obs.json for recorded numbers).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkRun(Bare|Instrumented)$$' -benchtime 1s -count 6 .
+
+# Short fuzz pass over the Erlang-B / Equation-15 invariants (CI smoke; the
+# checked-in corpora under internal/erlang/testdata/fuzz always run in
+# plain `go test`).
+fuzz-smoke:
+	$(GO) test ./internal/erlang/ -run '^$$' -fuzz FuzzErlangB -fuzztime 10s
+	$(GO) test ./internal/erlang/ -run '^$$' -fuzz FuzzProtectionLevel -fuzztime 10s

@@ -1,0 +1,76 @@
+// Command altlint runs the repository's determinism and float-identity
+// static-analysis pass (internal/analysis) over package patterns and prints
+// findings as file:line: rule: message.
+//
+// Usage:
+//
+//	altlint [-rules rule1,rule2] [-list] [packages...]
+//
+// With no patterns it analyzes ./.... The exit status is 0 when the tree is
+// clean, 1 when there are findings, and 2 on a loading or usage error.
+// Findings are suppressed with `//altlint:ignore <rule> <reason>` on the
+// flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("altlint", flag.ContinueOnError)
+	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	list := fs.Bool("list", false, "list the available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected := all
+	if *rules != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "altlint: unknown rule %q (try -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	pkgs, err := analysis.Load("", fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	findings := analysis.Run(pkgs, selected)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "altlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestListExitsClean(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("-list exit = %d, want 0", got)
+	}
+}
+
+func TestUnknownRuleIsUsageError(t *testing.T) {
+	if got := run([]string{"-rules", "no-such-rule", "./..."}); got != 2 {
+		t.Fatalf("unknown rule exit = %d, want 2", got)
+	}
+}
+
+func TestFixtureFindingsExitNonzero(t *testing.T) {
+	if got := run([]string{"repro/internal/analysis/testdata/src/nondet"}); got != 1 {
+		t.Fatalf("fixture exit = %d, want 1", got)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	if got := run([]string{"repro/internal/erlang"}); got != 0 {
+		t.Fatalf("clean package exit = %d, want 0", got)
+	}
+}

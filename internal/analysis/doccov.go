@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DocCoverage requires doc comments on the exported API of the facade
+// package and the numerically load-bearing internals (internal/erlang,
+// internal/sim): exported functions, methods, types, and the exported names
+// of package-level const/var declarations. The determinism contract is
+// documented behavior — an undocumented exported identifier is a contract
+// nobody wrote down.
+var DocCoverage = &Analyzer{
+	Name: "doc-coverage",
+	Doc:  "exported identifiers in the facade and internal/{erlang,sim} need doc comments",
+	Run:  runDocCoverage,
+}
+
+func runDocCoverage(pass *Pass) {
+	if !needsDocs(pass.Pkg.PkgPath) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						// Methods on unexported types are not reachable API.
+						if !exportedReceiver(d.Recv) {
+							continue
+						}
+						kind = "method"
+					}
+					pass.Report(d.Name.Pos(), "exported %s %s is undocumented", kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(pass, d)
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver base type name is
+// exported (stripping any pointer and type parameters).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.IndexListExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// checkGenDecl reports undocumented exported names of one type/const/var
+// declaration. A doc comment on the grouped declaration covers every spec
+// in it; a spec-level doc or trailing line comment covers that spec.
+func checkGenDecl(pass *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				pass.Report(s.Name.Pos(), "exported type %s is undocumented", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Report(name.Pos(), "exported %s %s is undocumented", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}

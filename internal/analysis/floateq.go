@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatIdentity enforces the float-identity contract in deterministic
+// packages: `==`/`!=` between floating-point operands and floating-point
+// map keys are flagged. Bitwise float identity is meaningful in this
+// codebase — the golden suite depends on it — but it must go through the
+// sanctioned pattern from erlang.Cache: convert with math.Float64bits and
+// compare/key on the uint64 image, which is total (NaN-safe) and explicit.
+//
+// Two deliberate idioms are allowed. Comparisons against the exact literal
+// 0 — zero is the one sentinel the IEEE recursions produce exactly (empty
+// sums, zero offered load), and the codebase uses `x == 0` for those. And
+// the tie-break comparator, `if a != b { return a < b }`: any bit
+// difference flows into a total order rather than divergent logic, which is
+// exactly how the arrival generators keep their orderings deterministic.
+var FloatIdentity = &Analyzer{
+	Name: "float-identity",
+	Doc:  "flag ==/!= on floats and float map keys outside the math.Float64bits pattern",
+	Run:  runFloatIdentity,
+}
+
+func runFloatIdentity(pass *Pass) {
+	if !isDeterministic(pass.Pkg.PkgPath) {
+		return
+	}
+	info := pass.Pkg.Info
+	allowed := tieBreakComparisons(pass)
+	inspectAll(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if allowed[n] {
+				return true
+			}
+			if !isFloat(info.TypeOf(n.X)) || !isFloat(info.TypeOf(n.Y)) {
+				return true
+			}
+			if isZeroConst(info, n.X) || isZeroConst(info, n.Y) {
+				return true
+			}
+			pass.Report(n.Pos(), "float %s comparison: compare math.Float64bits images (erlang.Cache pattern) or use an explicit tolerance", n.Op)
+		case *ast.MapType:
+			t := info.TypeOf(n.Key)
+			if t != nil && isFloat(t) {
+				pass.Report(n.Key.Pos(), "float map key hashes by identity: key on math.Float64bits(load) as in erlang.Cache")
+			}
+		}
+		return true
+	})
+}
+
+// tieBreakComparisons collects the `!=` expressions sanctioned by the
+// comparator idiom: the condition of an if statement whose body is exactly
+// `return x < y` (or `x > y`) over the same two operands.
+func tieBreakComparisons(pass *Pass) map[*ast.BinaryExpr]bool {
+	out := make(map[*ast.BinaryExpr]bool)
+	inspectAll(pass, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return true
+		}
+		ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		ord, ok := ret.Results[0].(*ast.BinaryExpr)
+		if !ok || (ord.Op != token.LSS && ord.Op != token.GTR) {
+			return true
+		}
+		cx, cy := types.ExprString(cond.X), types.ExprString(cond.Y)
+		ox, oy := types.ExprString(ord.X), types.ExprString(ord.Y)
+		if (cx == ox && cy == oy) || (cx == oy && cy == ox) {
+			out[cond] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && b.Info()&types.IsComplex == 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps in deterministic packages
+// whose bodies perform order-sensitive work: appending to a slice, writing
+// output (fmt print family, Write/WriteString methods, channel sends), or
+// emitting an observability event. Go randomizes map iteration order, so
+// such loops leak nondeterminism straight into results.
+//
+// The sanctioned fix — collect the keys, sort them, range over the sorted
+// slice — is recognized: a loop that only appends the keys (or values) to a
+// slice that is later passed to a sort.* or slices.Sort* call in the same
+// function is not flagged. Commutative uses (summing, filling another map,
+// counting) are inherently order-insensitive and are not flagged either.
+var MapOrder = &Analyzer{
+	Name: "map-order",
+	Doc:  "flag map iteration feeding order-sensitive work (append/output/events) without sorted keys",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !isDeterministic(pass.Pkg.PkgPath) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFuncMapRanges(pass, fn.Body, info)
+			}
+		}
+	}
+}
+
+// checkFuncMapRanges inspects one function body (including nested function
+// literals; the post-loop sort exemption is scoped to the enclosing body).
+func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt, info *types.Info) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportMapRange(pass, rng, body, info)
+		return true
+	})
+}
+
+// reportMapRange reports the order-sensitive statements inside one
+// map-range body, applying the sort-after exemption to appends.
+func reportMapRange(pass *Pass, rng *ast.RangeStmt, enclosing *ast.BlockStmt, info *types.Info) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Report(n.Pos(), "channel send inside map iteration: receiver observes random key order; sort the keys and range over the sorted slice")
+		case *ast.CallExpr:
+			if isBuiltinAppend(n, info) {
+				target := appendTarget(n)
+				if target != nil && sortedAfter(target, rng, enclosing, info) {
+					return true
+				}
+				pass.Report(n.Pos(), "append inside map iteration produces a randomly ordered slice: sort the keys first (or sort the result before use)")
+				return true
+			}
+			if name, ok := orderSensitiveCall(n, info); ok {
+				pass.Report(n.Pos(), "%s inside map iteration emits in random key order: sort the keys and range over the sorted slice", name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(call *ast.CallExpr, info *types.Info) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendTarget returns the root identifier of append's first argument
+// (e.g. keys in `keys = append(keys, k)`), or nil when it has none.
+func appendTarget(call *ast.CallExpr) *ast.Ident {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	expr := call.Args[0]
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether target (an identifier appended to inside rng)
+// is passed to a sort.* / slices.Sort* call after the range statement in the
+// enclosing body — the collect-then-sort idiom. Indexed or field targets
+// (samples[name], s.xs) only qualify when the root identifier itself is the
+// sorted argument, so per-key slice maps stay flagged.
+func sortedAfter(target *ast.Ident, rng *ast.RangeStmt, enclosing *ast.BlockStmt, info *types.Info) bool {
+	obj := info.Uses[target]
+	if obj == nil {
+		obj = info.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		if !isSortCall(call, info) {
+			return true
+		}
+		for _, arg := range call.Args {
+			root := arg
+			if u, ok := root.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				root = u.X
+			}
+			if id, ok := root.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall reports whether call invokes the sort or slices package.
+func isSortCall(call *ast.CallExpr, info *types.Info) bool {
+	fn := calleeFunc(call, info)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "sort" || path == "slices"
+}
+
+// orderSensitiveCall reports whether call writes output whose order the
+// reader observes: the fmt print family, Write*/print methods on builders,
+// buffers and writers, io.WriteString, or an observability emission.
+func orderSensitiveCall(call *ast.CallExpr, info *types.Info) (string, bool) {
+	if fn := calleeFunc(call, info); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			// Only the stream-writing family: Sprint*/Errorf build values
+			// whose later use decides ordering, so they are not flagged here.
+			if strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint") {
+				return "fmt." + fn.Name(), true
+			}
+		case "io":
+			if fn.Name() == "WriteString" {
+				return "io.WriteString", true
+			}
+		case "repro/internal/obs":
+			if fn.Name() == "Emit" {
+				return "obs.Emit", true
+			}
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "Event":
+				return "method " + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// calleeFunc resolves the called function object, or nil for indirect calls.
+func calleeFunc(call *ast.CallExpr, info *types.Info) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondetSource bans nondeterministic inputs in deterministic packages: the
+// wall clock (time.Now/Since/Until), the globally seeded math/rand
+// convenience functions, and the process environment (os.Getenv and
+// friends). Randomness must flow through internal/xrand, whose streams are
+// derived from explicit (seed, key...) tuples, so identical configurations
+// replay identical traces; rand.New/rand.NewSource over an explicit seed
+// remain legal, which is exactly how xrand builds its generators.
+var NondetSource = &Analyzer{
+	Name: "nondet-source",
+	Doc:  "ban time.Now, global math/rand, and os.Getenv in deterministic packages",
+	Run:  runNondetSource,
+}
+
+// bannedFuncs maps package path -> function name -> remedy. Only
+// package-level functions are matched; methods (e.g. on *rand.Rand, whose
+// seeding the caller controls) are fine.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "derive times from the simulation clock, not the wall clock",
+		"Since": "derive durations from the simulation clock, not the wall clock",
+		"Until": "derive durations from the simulation clock, not the wall clock",
+	},
+	"os": {
+		"Getenv":    "thread configuration through explicit options, not the environment",
+		"LookupEnv": "thread configuration through explicit options, not the environment",
+		"Environ":   "thread configuration through explicit options, not the environment",
+	},
+	"math/rand": {
+		"Int": "", "Intn": "", "Int31": "", "Int31n": "", "Int63": "", "Int63n": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "",
+		"NormFloat64": "", "ExpFloat64": "", "Perm": "", "Shuffle": "",
+		"Read": "", "Seed": "",
+	},
+}
+
+const randRemedy = "use internal/xrand streams (explicit seed/key tuples) instead of the global math/rand state"
+
+func runNondetSource(pass *Pass) {
+	if !isDeterministic(pass.Pkg.PkgPath) {
+		return
+	}
+	info := pass.Pkg.Info
+	inspectAll(pass, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true
+		}
+		byName, ok := bannedFuncs[fn.Pkg().Path()]
+		if !ok {
+			return true
+		}
+		remedy, ok := byName[fn.Name()]
+		if !ok {
+			return true
+		}
+		if remedy == "" {
+			remedy = randRemedy
+		}
+		pass.Report(sel.Pos(), "nondeterministic source %s.%s: %s", fn.Pkg().Path(), fn.Name(), remedy)
+		return true
+	})
+}

@@ -1,0 +1,129 @@
+package analysis_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantPrefix marks an expected finding in a fixture: `// want <rule>` on
+// the flagged line.
+const wantPrefix = "// want "
+
+// expectation is one anticipated finding: by (file base name, line) when
+// Line > 0, otherwise by message substring.
+type expectation struct {
+	File    string
+	Line    int
+	Rule    string
+	Message string
+}
+
+// collectWants scans a fixture package's comments for want markers.
+func collectWants(pkg *analysis.Package) []expectation {
+	var out []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, wantPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, expectation{
+					File: base(pos.Filename),
+					Line: pos.Line,
+					Rule: strings.TrimSpace(strings.TrimPrefix(c.Text, wantPrefix)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// runFixture loads testdata/src/<dir>, runs one analyzer, and checks the
+// findings against the fixture's want markers plus any extra expectations.
+func runFixture(t *testing.T, dir string, a *analysis.Analyzer, extra ...expectation) {
+	t.Helper()
+	pkgs, err := analysis.Load("", "./testdata/src/"+dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	findings := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	expected := append(collectWants(pkgs[0]), extra...)
+
+	matched := make([]bool, len(findings))
+	for _, want := range expected {
+		found := false
+		for i, f := range findings {
+			if matched[i] || f.Rule != want.Rule {
+				continue
+			}
+			if want.Line > 0 {
+				if base(f.Pos.Filename) != want.File || f.Pos.Line != want.Line {
+					continue
+				}
+			} else if !strings.Contains(f.Message, want.Message) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("fixture %s: missing expected finding %+v\ngot: %s", dir, want, renderFindings(findings))
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("fixture %s: unexpected finding %s", dir, f)
+		}
+	}
+}
+
+func renderFindings(fs []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "\n  %s", f)
+	}
+	return b.String()
+}
+
+func TestMapOrderRule(t *testing.T) {
+	runFixture(t, "maporder", analysis.MapOrder)
+}
+
+func TestNondetSourceRule(t *testing.T) {
+	runFixture(t, "nondet", analysis.NondetSource)
+}
+
+func TestFloatIdentityRule(t *testing.T) {
+	runFixture(t, "floateq", analysis.FloatIdentity)
+}
+
+func TestSinkDisciplineRule(t *testing.T) {
+	runFixture(t, "sinkdiscipline", analysis.SinkDiscipline)
+}
+
+func TestDocCoverageRule(t *testing.T) {
+	runFixture(t, "doccov", analysis.DocCoverage,
+		expectation{Rule: "doc-coverage", Message: "type Bare is undocumented"})
+}
+
+// TestIgnoreRequiresReason checks that a bare ignore directive is itself a
+// finding and suppresses nothing.
+func TestIgnoreRequiresReason(t *testing.T) {
+	runFixture(t, "badignore", analysis.NondetSource,
+		expectation{Rule: "ignore-directive", Message: "malformed"})
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepositoryIsClean runs every analyzer over the whole module and
+// asserts zero findings: the determinism contract holds on the tree as
+// committed, and CI fails the moment a new violation lands.
+func TestRepositoryIsClean(t *testing.T) {
+	pkgs, err := analysis.Load("", "repro/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	findings := analysis.Run(pkgs, analysis.All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("%d finding(s); fix them or add //altlint:ignore <rule> <reason> with justification", len(findings))
+	}
+}

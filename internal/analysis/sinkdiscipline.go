@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SinkDiscipline enforces the single-branch nil-sink contract from the
+// observability layer (DESIGN.md §7): outside internal/obs itself, event
+// emission must go through obs.Emit, which owns the one nil check. Two
+// shapes are flagged in deterministic packages:
+//
+//   - a direct obs.Sink.Event call — unguarded emission, or a hand-rolled
+//     guard the next refactor will forget;
+//   - an `if sink != nil { ... }` block whose body emits (calls .Event or
+//     obs.Emit) — the ad-hoc guard obs.Emit replaces. Blocks that guard
+//     other instrumentation work belong behind a plain boolean
+//     (`instrumented := sink != nil`), which keeps the nil test in one
+//     place and this rule quiet.
+var SinkDiscipline = &Analyzer{
+	Name: "sink-discipline",
+	Doc:  "event emission must go through obs.Emit, not ad-hoc `if sink != nil` blocks",
+	Run:  runSinkDiscipline,
+}
+
+// obsPath is the observability package, the sole owner of raw Sink.Event
+// calls.
+const obsPath = "repro/internal/obs"
+
+func runSinkDiscipline(pass *Pass) {
+	if !isDeterministic(pass.Pkg.PkgPath) || pass.Pkg.PkgPath == obsPath {
+		return
+	}
+	info := pass.Pkg.Info
+	// Nil-guarded emission blocks, reported once per guard. The guarded
+	// emissions inside are collected so they are not double-reported.
+	inGuard := make(map[ast.Node]bool)
+	inspectAll(pass, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !isSinkNilCheck(ifs.Cond, info) {
+			return true
+		}
+		emits := emissionCalls(ifs.Body, info)
+		if len(emits) == 0 {
+			return true
+		}
+		for _, c := range emits {
+			inGuard[c] = true
+		}
+		pass.Report(ifs.Pos(), "ad-hoc nil-sink guard around emission: call obs.Emit(sink, e) unconditionally (it owns the single nil check)")
+		return true
+	})
+	// Direct Sink.Event calls outside any reported guard.
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inGuard[call] {
+			return true
+		}
+		if isSinkEventCall(call, info) {
+			pass.Report(call.Pos(), "direct Sink.Event call: route emission through obs.Emit so the nil-sink branch stays in one place")
+		}
+		return true
+	})
+}
+
+// isSinkNilCheck matches `x != nil` / `nil != x` where x is an obs.Sink.
+func isSinkNilCheck(cond ast.Expr, info *types.Info) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	x := bin.X
+	if isNilExpr(bin.X, info) {
+		x = bin.Y
+	} else if !isNilExpr(bin.Y, info) {
+		return false
+	}
+	return isSinkType(info.TypeOf(x))
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// emissionCalls collects the .Event and obs.Emit calls under n.
+func emissionCalls(n ast.Node, info *types.Info) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isSinkEventCall(call, info) || isObsEmitCall(call, info) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// isSinkEventCall matches method calls x.Event(...) where x is an obs.Sink.
+func isSinkEventCall(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Event" {
+		return false
+	}
+	return isSinkType(info.TypeOf(sel.X))
+}
+
+// isObsEmitCall matches obs.Emit(...) calls.
+func isObsEmitCall(call *ast.CallExpr, info *types.Info) bool {
+	fn := calleeFunc(call, info)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == obsPath && fn.Name() == "Emit"
+}
+
+// isSinkType reports whether t is the obs.Sink interface (directly or via
+// an alias such as the facade's EventSink).
+func isSinkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == obsPath && obj.Name() == "Sink"
+}

@@ -1,0 +1,13 @@
+// Package badignore exercises the ignore-directive syntax check: a
+// directive without a reason is itself reported and suppresses nothing.
+package badignore
+
+import "time"
+
+// Stamp carries a reasonless ignore directive: the directive is flagged
+// (expectation in the test table) and the nondet-source finding it failed
+// to suppress survives.
+func Stamp() int64 {
+	//altlint:ignore nondet-source
+	return time.Now().UnixNano() // want nondet-source
+}

@@ -1,0 +1,30 @@
+// Package doccov exercises the doc-coverage rule: exported identifiers in
+// the covered packages need doc comments.
+package doccov
+
+// Documented carries a doc comment and is clean.
+func Documented() {}
+
+func Naked() {} // want doc-coverage
+
+// Summary is documented and clean.
+type Summary struct{}
+
+type Bare struct{}
+
+// (Bare above is flagged; its expectation lives in the test table because
+// an expectation marker on its line would read as a trailing doc comment.)
+
+// Threshold is documented and clean.
+const Threshold = 3
+
+var internalOnly = 1 // unexported: never flagged
+
+// Reset is a documented method on an exported type — clean.
+func (Summary) Reset() {}
+
+func (Summary) Clear() {} // want doc-coverage
+
+func (b *Bare) grow() {} // unexported method: never flagged
+
+func BenchHook() {} //altlint:ignore doc-coverage exported for benchmarks only, not API

@@ -1,0 +1,54 @@
+// Package floateq exercises the float-identity rule: no ==/!= on floats or
+// float map keys outside the math.Float64bits pattern.
+package floateq
+
+import "math"
+
+// Same compares floats for identity — flagged.
+func Same(a, b float64) bool {
+	return a == b // want float-identity
+}
+
+// Differ compares floats for identity — flagged.
+func Differ(a, b float64) bool {
+	return a != b // want float-identity
+}
+
+// Narrow compares float32 values for identity — flagged.
+func Narrow(a, b float32) bool {
+	return a == b // want float-identity
+}
+
+// Index keys a map by raw floats — flagged.
+func Index(loads []float64) map[float64]int { // want float-identity
+	out := make(map[float64]int) // want float-identity
+	for i, l := range loads {
+		out[l] = i
+	}
+	return out
+}
+
+// ZeroSentinel compares against the exact literal 0 and is clean.
+func ZeroSentinel(x float64) bool {
+	return x == 0
+}
+
+// TieBreak uses the comparator idiom and is clean: a bit difference flows
+// into a total order, not divergent logic.
+func TieBreak(a, b float64) bool {
+	if a != b {
+		return a < b
+	}
+	return false
+}
+
+// Bits compares math.Float64bits images — the erlang.Cache pattern — clean.
+func Bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Suppressed demonstrates the ignore directive with a reason.
+func Suppressed(a, b float64) bool {
+	//altlint:ignore float-identity replay equality is validated by the golden suite
+	return a == b
+}

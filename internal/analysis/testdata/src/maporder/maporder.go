@@ -1,0 +1,69 @@
+// Package maporder exercises the map-order rule: map iteration feeding
+// order-sensitive work must sort its keys first.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collect appends map keys in iteration order — nondeterministic.
+func Collect(vals map[string]int) []string {
+	var out []string
+	for name := range vals {
+		out = append(out, name) // want map-order
+	}
+	return out
+}
+
+// Print writes rows in iteration order — nondeterministic.
+func Print(vals map[string]int) {
+	for name, v := range vals {
+		fmt.Println(name, v) // want map-order
+	}
+}
+
+// Send streams keys in iteration order — nondeterministic.
+func Send(vals map[string]int, ch chan<- string) {
+	for name := range vals {
+		ch <- name // want map-order
+	}
+}
+
+// Sorted uses the sanctioned collect-then-sort idiom and is clean.
+func Sorted(vals map[string]int) []string {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Reduce folds commutatively and is clean.
+func Reduce(vals map[string]int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// Transfer fills another map, which is order-insensitive, and is clean.
+func Transfer(vals map[string]int) map[string]int {
+	out := make(map[string]int, len(vals))
+	for k, v := range vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Suppressed demonstrates the ignore directive with a reason.
+func Suppressed(vals map[string]int) []string {
+	var out []string
+	for name := range vals {
+		//altlint:ignore map-order order is folded into a set downstream
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package nondet exercises the nondet-source rule: no wall clock, global
+// RNG, or environment reads in deterministic packages.
+package nondet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock — nondeterministic.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want nondet-source
+}
+
+// Draw uses the globally seeded RNG — nondeterministic.
+func Draw() float64 {
+	return rand.Float64() // want nondet-source
+}
+
+// Mode reads the environment — nondeterministic.
+func Mode() string {
+	return os.Getenv("ALTSIM_MODE") // want nondet-source
+}
+
+// SeededDraw derives randomness from an explicit seed and is clean; this is
+// the internal/xrand construction.
+func SeededDraw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Banner demonstrates the ignore directive with a reason.
+func Banner() time.Time {
+	//altlint:ignore nondet-source log banner timestamp never reaches results
+	return time.Now()
+}

@@ -1,0 +1,41 @@
+// Package sinkdiscipline exercises the sink-discipline rule: event emission
+// goes through obs.Emit, which owns the single nil-sink branch.
+package sinkdiscipline
+
+import "repro/internal/obs"
+
+// AdHoc hand-rolls the nil guard — flagged once, at the guard.
+func AdHoc(sink obs.Sink, t float64) {
+	if sink != nil { // want sink-discipline
+		sink.Event(obs.Event{Kind: obs.KindRunStart, Time: t})
+	}
+}
+
+// Direct emits without any guard — flagged at the call.
+func Direct(sink obs.Sink, t float64) {
+	sink.Event(obs.Event{Kind: obs.KindRunEnd, Time: t}) // want sink-discipline
+}
+
+// Disciplined uses obs.Emit and is clean.
+func Disciplined(sink obs.Sink, t float64) {
+	obs.Emit(sink, obs.Event{Kind: obs.KindRunStart, Time: t})
+}
+
+// Gated hoists the nil test into a boolean so a hot path can skip event
+// construction, then still emits through obs.Emit — clean.
+func Gated(sink obs.Sink, ts []float64) {
+	instrumented := sink != nil
+	for _, t := range ts {
+		if instrumented {
+			obs.Emit(sink, obs.Event{Kind: obs.KindLinkOccupancy, Time: t})
+		}
+	}
+}
+
+// Suppressed demonstrates the ignore directive with a reason.
+func Suppressed(sink obs.Sink, t float64) {
+	//altlint:ignore sink-discipline measured dispatch overhead forces a local guard
+	if sink != nil {
+		sink.Event(obs.Event{Kind: obs.KindRunEnd, Time: t})
+	}
+}

@@ -1,0 +1,105 @@
+package erlang_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/erlang"
+)
+
+// fuzzTol absorbs last-ulp rounding in the forward recursion when checking
+// monotonicity: the mathematical inequalities are strict, but two adjacent
+// evaluations may land on the same float or cross by an ulp.
+const fuzzTol = 1e-12
+
+// FuzzErlangB checks the Erlang-B invariants on arbitrary inputs: the
+// blocking probability is a probability, it decreases when capacity grows,
+// and it increases when offered load grows.
+func FuzzErlangB(f *testing.F) {
+	f.Add(10.0, 10)
+	f.Add(90.0, 100)
+	f.Add(0.0, 0)
+	f.Add(0.5, 1)
+	f.Add(1e6, 300)
+	f.Add(1e-9, 5)
+	f.Fuzz(func(t *testing.T, load float64, capacity int) {
+		if math.IsNaN(load) || math.IsInf(load, 0) || load < 0 {
+			t.Skip("invalid load")
+		}
+		if capacity < 0 || capacity > 2048 {
+			t.Skip("capacity outside test domain")
+		}
+		b := erlang.B(load, capacity)
+		if !(b >= 0 && b <= 1) {
+			t.Fatalf("B(%v, %d) = %v, not in [0,1]", load, capacity, b)
+		}
+		// More circuits can only lower blocking.
+		if b1 := erlang.B(load, capacity+1); b1 > b+fuzzTol {
+			t.Fatalf("B(%v, %d) = %v > B(%v, %d) = %v: blocking increased with capacity",
+				load, capacity+1, b1, load, capacity, b)
+		}
+		// More offered load can only raise blocking.
+		heavier := load + 1 + load/2
+		if math.IsInf(heavier, 0) {
+			return
+		}
+		if b2 := erlang.B(heavier, capacity); b2 < b-fuzzTol {
+			t.Fatalf("B(%v, %d) = %v < B(%v, %d) = %v: blocking decreased with load",
+				heavier, capacity, b2, load, capacity, b)
+		}
+	})
+}
+
+// FuzzProtectionLevel checks the Equation-15 solver on arbitrary inputs:
+// the returned protection level r satisfies the paper's bound
+// B(Λ,C)/B(Λ,C−r) <= 1/H whenever any level can, it is the minimal such
+// level, and when no level short of C can, it saturates at C.
+//
+// The check reuses LossBound, whose InverseB recursion produces the same
+// float sequence as the solver's internal prefix array, so the comparisons
+// are bit-exact. Inputs where the inverse-blocking recursion overflows
+// float64 (InverseB = +Inf, i.e. B below the smallest normal) are outside
+// the resolvable domain and skipped.
+func FuzzProtectionLevel(f *testing.F) {
+	f.Add(90.0, 100, 11)
+	f.Add(5.0, 10, 6)
+	f.Add(120.0, 100, 11)
+	f.Add(0.0, 50, 11)
+	f.Add(0.04, 4, 2)
+	f.Fuzz(func(t *testing.T, load float64, capacity, maxHops int) {
+		if math.IsNaN(load) || math.IsInf(load, 0) || load < 0 {
+			t.Skip("invalid load")
+		}
+		if capacity < 0 || capacity > 1024 || maxHops < 1 || maxHops > 64 {
+			t.Skip("outside test domain")
+		}
+		r := erlang.ProtectionLevel(load, capacity, maxHops)
+		if r < 0 || r > capacity {
+			t.Fatalf("ProtectionLevel(%v, %d, %d) = %d, outside [0, %d]", load, capacity, maxHops, r, capacity)
+		}
+		if load == 0 {
+			if r != 0 {
+				t.Fatalf("ProtectionLevel(0, %d, %d) = %d, want 0 (no load needs no protection)", capacity, maxHops, r)
+			}
+			return
+		}
+		if math.IsInf(erlang.InverseB(load, capacity), 1) {
+			t.Skip("inverse blocking overflows: ratio not resolvable in float64")
+		}
+		target := 1 / float64(maxHops)
+		ratio := erlang.LossBound(load, capacity, r)
+		if ratio <= target {
+			// Satisfied: r must be minimal.
+			if r > 0 {
+				if prev := erlang.LossBound(load, capacity, r-1); prev <= target {
+					t.Fatalf("ProtectionLevel(%v, %d, %d) = %d not minimal: r-1 already has ratio %v <= %v",
+						load, capacity, maxHops, r, prev, target)
+				}
+			}
+		} else if r != capacity {
+			// Unsatisfiable targets must saturate at full protection.
+			t.Fatalf("ProtectionLevel(%v, %d, %d) = %d has ratio %v > %v without saturating at C=%d",
+				load, capacity, maxHops, r, ratio, target, capacity)
+		}
+	})
+}

@@ -41,8 +41,8 @@ func Cellular(loads []float64, seeds int) ([]CellularPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			for mode, res := range results {
-				samples[mode] = append(samples[mode], res.Blocking())
+			for _, mode := range []cellular.Mode{cellular.NoBorrowing, cellular.UncontrolledBorrowing, cellular.ControlledBorrowing} {
+				samples[mode] = append(samples[mode], results[mode].Blocking())
 			}
 			borrowed += results[cellular.ControlledBorrowing].Borrowed
 			accepted += results[cellular.ControlledBorrowing].Accepted

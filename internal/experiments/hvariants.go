@@ -73,7 +73,10 @@ func HVariants(loads []float64, p SimParams) ([]HVariantsPoint, error) {
 		samples := map[string][]float64{}
 		for seed := 0; seed < p.Seeds; seed++ {
 			tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
-			for name, pol := range pols {
+			// Iterate in render order, not map order, so the runs (and any
+			// attached event stream) replay identically across processes.
+			for _, name := range HVariantNames {
+				pol := pols[name]
 				res, err := sim.Run(sim.Config{Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup})
 				if err != nil {
 					return nil, err

@@ -1,0 +1,16 @@
+package obs
+
+// Emit forwards e to s when s is non-nil. It is the single sanctioned
+// emission point outside this package: instrumented code calls Emit
+// unconditionally instead of hand-rolling `if sink != nil` guards, so the
+// zero-cost-when-disabled contract (one never-taken branch per event site)
+// lives in exactly one place. The sink-discipline altlint rule enforces
+// this. Emit is small enough to inline; when the event struct itself is
+// expensive to build on a hot path, gate the whole instrumentation block
+// behind a plain boolean computed once (`instrumented := sink != nil`) and
+// still emit through Emit inside it.
+func Emit(s Sink, e Event) {
+	if s != nil {
+		s.Event(e)
+	}
+}

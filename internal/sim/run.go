@@ -244,11 +244,15 @@ func Run(cfg Config) (*Result, error) {
 	pairBlocked := make([]int64, numNodes*numNodes)
 
 	sink := cfg.Sink
-	occupancyEvents := sink != nil && cfg.OccupancyEvents
+	// The nil test happens once; hot-path instrumentation blocks are gated
+	// on the resulting boolean so disabled runs skip event construction
+	// entirely, and every emission goes through obs.Emit (sink-discipline).
+	instrumented := sink != nil
+	occupancyEvents := instrumented && cfg.OccupancyEvents
 	// sampleOccupancy reports each changed link's new occupancy.
 	sampleOccupancy := func(at float64, p paths.Path) {
 		for _, id := range p.Links {
-			sink.Event(obs.Event{
+			obs.Emit(sink, obs.Event{
 				Kind: obs.KindLinkOccupancy, Time: at,
 				Link: int(id), Occupancy: st.Occupancy(id),
 			})
@@ -263,7 +267,7 @@ func Run(cfg Config) (*Result, error) {
 	closeWindows := func(upTo int) {
 		for ; closedWindows < upTo; closedWindows++ {
 			w := windows[closedWindows]
-			sink.Event(obs.Event{
+			obs.Emit(sink, obs.Event{
 				Kind: obs.KindWindowClosed, Time: w.End, Window: closedWindows,
 				Offered: w.Offered, Blocked: w.Blocked,
 			})
@@ -278,7 +282,7 @@ func Run(cfg Config) (*Result, error) {
 			start := cfg.Warmup + float64(len(windows))*cfg.WindowLength
 			windows = append(windows, WindowStats{Start: start, End: start + cfg.WindowLength})
 		}
-		if sink != nil {
+		if instrumented {
 			closeWindows(k)
 		}
 		return &windows[k]
@@ -311,9 +315,7 @@ func Run(cfg Config) (*Result, error) {
 		lastT = now
 	}
 
-	if sink != nil {
-		sink.Event(obs.Event{Kind: obs.KindRunStart, Policy: res.Policy, Seed: src.Seed()})
-	}
+	obs.Emit(sink, obs.Event{Kind: obs.KindRunStart, Policy: res.Policy, Seed: src.Seed()})
 	drained := 0
 	for {
 		c, more := src.Next()
@@ -328,8 +330,8 @@ func Run(cfg Config) (*Result, error) {
 			at, path := deps.pop()
 			accumulate(at)
 			st.Release(path)
-			if sink != nil {
-				sink.Event(obs.Event{
+			if instrumented {
+				obs.Emit(sink, obs.Event{
 					Kind: obs.KindCallDeparted, Time: at,
 					Hops: path.Hops(), Measured: at >= cfg.Warmup,
 				})
@@ -354,8 +356,8 @@ func Run(cfg Config) (*Result, error) {
 				win.Offered++
 			}
 		}
-		if sink != nil {
-			sink.Event(obs.Event{
+		if instrumented {
+			obs.Emit(sink, obs.Event{
 				Kind: obs.KindCallOffered, Time: c.Arrival, Call: c.ID,
 				Origin: int(c.Origin), Dest: int(c.Dest),
 				Measured: measured, Drained: drained,
@@ -375,8 +377,8 @@ func Run(cfg Config) (*Result, error) {
 					res.PrimaryAccepted++
 				}
 			}
-			if sink != nil {
-				sink.Event(obs.Event{
+			if instrumented {
+				obs.Emit(sink, obs.Event{
 					Kind: obs.KindCallAdmitted, Time: c.Arrival, Call: c.ID,
 					Origin: int(c.Origin), Dest: int(c.Dest),
 					Hops: p.Hops(), Alternate: alternate, Measured: measured,
@@ -402,8 +404,8 @@ func Run(cfg Config) (*Result, error) {
 				blockAt = blockLink
 			}
 		}
-		if sink != nil {
-			sink.Event(obs.Event{
+		if instrumented {
+			obs.Emit(sink, obs.Event{
 				Kind: obs.KindCallBlocked, Time: c.Arrival, Call: c.ID,
 				Origin: int(c.Origin), Dest: int(c.Dest),
 				Link: int(blockAt), Measured: measured,
@@ -415,8 +417,8 @@ func Run(cfg Config) (*Result, error) {
 		at, path := deps.pop()
 		accumulate(at)
 		st.Release(path)
-		if sink != nil {
-			sink.Event(obs.Event{
+		if instrumented {
+			obs.Emit(sink, obs.Event{
 				Kind: obs.KindCallDeparted, Time: at,
 				Hops: path.Hops(), Measured: at >= cfg.Warmup,
 			})
@@ -442,9 +444,9 @@ func Run(cfg Config) (*Result, error) {
 		res.LinkTimeUtil[id] /= window
 	}
 	res.Windows = windows
-	if sink != nil {
+	if instrumented {
 		closeWindows(len(windows))
-		sink.Event(obs.Event{
+		obs.Emit(sink, obs.Event{
 			Kind: obs.KindRunEnd, Time: horizon,
 			Offered: res.Offered, Blocked: res.Blocked,
 		})
