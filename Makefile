@@ -31,10 +31,11 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Simulation-core throughput guard (see BENCH_sim.json for the recorded
-# before/after numbers; update it from this output when the core changes).
+# Simulation-core and experiment-engine throughput guards (see
+# BENCH_sim.json and BENCH_par.json for the recorded before/after numbers;
+# update them from this output when the core or the engine changes).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunCalls|BenchmarkEq15Search|BenchmarkFixedPoint' -benchmem -count 3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkRunCalls|BenchmarkEq15Search|BenchmarkFixedPoint|BenchmarkBlockingSweep' -benchmem -count 3 .
 
 # Observability overhead guard (see BENCH_obs.json for recorded numbers).
 bench-obs:

@@ -629,3 +629,46 @@ func BenchmarkDalfarConvergence(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel experiment-engine guard (see BENCH_par.json) ---
+
+// BenchmarkBlockingSweep measures a whole blocking sweep — per-point scheme
+// derivation, seed replications, and Erlang bounds — sequentially
+// (Parallelism=1) and on the parallel engine (Parallelism=0, one worker per
+// GOMAXPROCS slot). The two produce bit-identical sweeps by contract (the
+// golden parallel-equivalence suite proves it); their wall-clock ratio is
+// the speedup recorded in BENCH_par.json.
+func BenchmarkBlockingSweep(b *testing.B) {
+	sweeps := []struct {
+		name string
+		run  func(p altroute.SimParams) error
+	}{
+		{"nsfnet", func(p altroute.SimParams) error {
+			_, err := altroute.NSFNetFigure([]float64{8, 10, 12}, 11, false, p)
+			return err
+		}},
+		{"quadrangle", func(p altroute.SimParams) error {
+			_, err := altroute.QuadrangleFigure([]float64{85, 90, 95}, 0, p)
+			return err
+		}},
+	}
+	modes := []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	}
+	for _, sw := range sweeps {
+		for _, mode := range modes {
+			b.Run(sw.name+"/"+mode.name, func(b *testing.B) {
+				p := altroute.SimParams{Seeds: 4, Warmup: 5, Horizon: 30, Parallelism: mode.parallelism}
+				for i := 0; i < b.N; i++ {
+					if err := sw.run(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -41,7 +41,10 @@
 //	bound         Erlang bound values for both paper networks
 //	all           run everything above with the paper's settings
 //
-// Common flags: -seeds, -warmup, -horizon, -loads, -H.
+// Common flags: -seeds, -warmup, -horizon, -loads, -H, -parallel. The
+// -parallel flag caps the worker goroutines of every parallel stage (seed
+// runs, sweep points, fixed-point links); 0 uses GOMAXPROCS, 1 forces
+// sequential execution, and every setting prints identical output.
 //
 // Observability flags (any experiment): -events stream.jsonl writes the full
 // simulation event stream as JSONL; -metrics out.json writes a counters-and-
@@ -81,11 +84,12 @@ func main() {
 	hFlag := fs.Int("H", 0, "maximum alternate hop length (0 = experiment default)")
 	csvPath := fs.String("csv", "", "also write sweep data as CSV to this file (quad/nsfnet/h6/ottkrishnan)")
 	scenario := fs.String("scenario", "", "scenario JSON file (custom)")
+	parallel := fs.Int("parallel", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	p := experiments.SimParams{Seeds: *seeds, Warmup: *warmup, Horizon: *horizon}
+	p := experiments.SimParams{Seeds: *seeds, Warmup: *warmup, Horizon: *horizon, Parallelism: *parallel}
 	obsFinish = of.setup(&p)
 	defer obsFinish()
 	loads, err := parseLoads(*loadsFlag)
@@ -341,7 +345,7 @@ experiments: fig2 quad table1 nsfnet h6 failures skew minloss ottkrishnan
              overflow ramp dalfar hvariants focused peakedness generalize
              retrials insensitivity capacity custom export-scenario dot
              verify report bound all
-flags: -seeds N -warmup T -horizon T -loads a,b,c -H n -csv file
+flags: -seeds N -warmup T -horizon T -loads a,b,c -H n -csv file -parallel N
        -events stream.jsonl -metrics out.json -pprof addr -progress 2s`)
 }
 

@@ -8,7 +8,10 @@
 // derivations are indistinguishable.
 package erlang
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 type bKey struct {
 	load uint64 // math.Float64bits of the offered load
@@ -21,43 +24,100 @@ type protKey struct {
 	maxHops int
 }
 
-// Cache memoizes Erlang-B evaluations keyed by exact float bits. It is not
-// safe for concurrent use; give each goroutine its own, or guard it. The
-// zero value is NOT ready — use NewCache.
+// cacheShards stripes each memo table so that concurrent fills from the
+// parallel sweep engine contend on different locks; 64 shards keep the
+// probability of two simultaneous fills colliding on a lock negligible at
+// the worker counts the experiment engine uses.
+const cacheShards = 64
+
+type bShard struct {
+	mu sync.RWMutex
+	m  map[bKey]float64
+}
+
+type protShard struct {
+	mu sync.RWMutex
+	m  map[protKey]int
+}
+
+// Cache memoizes Erlang-B evaluations keyed by exact float bits. It is safe
+// for concurrent use by any number of goroutines: every cached value is a
+// pure function of its key, so even a racing double-fill stores the same
+// bits and every reader observes the bit-identical result a cold
+// single-threaded cache would return. The zero value is NOT ready — use
+// NewCache.
 type Cache struct {
-	b    map[bKey]float64
-	prot map[protKey]int
+	b    [cacheShards]bShard
+	prot [cacheShards]protShard
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{
-		b:    make(map[bKey]float64),
-		prot: make(map[protKey]int),
+	c := &Cache{}
+	for i := range c.b {
+		c.b[i].m = make(map[bKey]float64)
+		c.prot[i].m = make(map[protKey]int)
 	}
+	return c
+}
+
+// mix finalizes a hash the way SplitMix64 does; the multiplies spread the
+// low-entropy capacity and hop-count fields across the shard index bits.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func (k bKey) shard() uint64 {
+	return mix(k.load^uint64(k.cap)*0x9e3779b97f4a7c15) % cacheShards
+}
+
+func (k protKey) shard() uint64 {
+	return mix(k.load^uint64(k.cap)*0x9e3779b97f4a7c15^uint64(k.maxHops)*0xd6e8feb86659fd93) % cacheShards
 }
 
 // B is the memoized form of the package-level B: identical values,
-// identical panics on invalid input.
+// identical panics on invalid input. Safe for concurrent use.
 func (c *Cache) B(load float64, capacity int) float64 {
 	k := bKey{math.Float64bits(load), capacity}
-	if v, ok := c.b[k]; ok {
+	s := &c.b[k.shard()]
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
 		return v
 	}
-	v := B(load, capacity)
-	c.b[k] = v
+	// Compute outside the lock: B is a pure function of the key, so two
+	// racing fills store the same bits and the race is benign by
+	// construction (panics on invalid input fire before anything is
+	// stored, exactly as the uncached call would).
+	v = B(load, capacity)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
 	return v
 }
 
 // ProtectionLevel is the memoized form of the package-level
-// ProtectionLevel: identical values, identical panics.
+// ProtectionLevel: identical values, identical panics. Safe for concurrent
+// use.
 func (c *Cache) ProtectionLevel(load float64, capacity, maxHops int) int {
 	k := protKey{math.Float64bits(load), capacity, maxHops}
-	if v, ok := c.prot[k]; ok {
+	s := &c.prot[k.shard()]
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
 		return v
 	}
-	v := ProtectionLevel(load, capacity, maxHops)
-	c.prot[k] = v
+	v = ProtectionLevel(load, capacity, maxHops)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
 	return v
 }
 
@@ -65,7 +125,9 @@ func (c *Cache) ProtectionLevel(load float64, capacity, maxHops int) int {
 // network in one call: loads and capacities are indexed by link, maxHops is
 // the design parameter H. A non-nil cache dedups repeated (load, capacity)
 // pairs — links related by symmetry cost one recursion for the whole batch;
-// nil means a private cache scoped to this call.
+// nil means a private cache scoped to this call. Concurrent batch fills of
+// one shared cache are safe and bit-identical to sequential fills: each
+// level is a pure function of its (load, capacity, maxHops) key.
 func ProtectionLevels(loads []float64, capacities []int, maxHops int, cache *Cache) []int {
 	if len(loads) != len(capacities) {
 		panic(ErrInvalidArgument)

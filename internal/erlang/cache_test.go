@@ -1,0 +1,120 @@
+package erlang_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/traffic"
+)
+
+// table1Grid returns the (load, capacity) pairs of the paper's Table 1 —
+// NSFNet link loads Λ^k under H=11 single-path routing with their T3
+// capacities — replicated at several load multipliers so the grid exercises
+// many distinct keys alongside the symmetric duplicates a real sweep hits.
+func table1Grid(t *testing.T) (loads []float64, caps []int) {
+	t.Helper()
+	g := netmodel.NSFNet()
+	nominal, _, err := traffic.NSFNetNominal()
+	if err != nil {
+		t.Fatalf("NSFNetNominal: %v", err)
+	}
+	scheme, err := core.New(g, nominal, core.Options{H: 11})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	for _, mult := range []float64{0.8, 1.0, 1.2, 1.4} {
+		for k, lambda := range scheme.LinkLoads {
+			loads = append(loads, lambda*mult)
+			caps = append(caps, g.Link(graph.LinkID(k)).Capacity)
+		}
+	}
+	return loads, caps
+}
+
+// TestCacheConcurrentBitExact hammers one shared Cache from many goroutines
+// — concurrent readers and writers over the Table 1 grid, each goroutine
+// walking the grid at a different stride so fills and hits interleave — and
+// requires every answer to be bit-identical to a cold sequential cache.
+// Run under -race this also proves the striped locking is sound.
+func TestCacheConcurrentBitExact(t *testing.T) {
+	loads, caps := table1Grid(t)
+	const maxHops = 11
+
+	// Sequential ground truth from a cold cache.
+	seq := erlang.NewCache()
+	wantB := make([]uint64, len(loads))
+	wantR := make([]int, len(loads))
+	for i := range loads {
+		wantB[i] = math.Float64bits(seq.B(loads[i], caps[i]))
+		wantR[i] = seq.ProtectionLevel(loads[i], caps[i], maxHops)
+	}
+
+	shared := erlang.NewCache()
+	const goroutines = 8
+	const passes = 3
+	errc := make(chan string, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		go func(gi int) {
+			defer wg.Done()
+			n := len(loads)
+			// A per-goroutine stride walks the grid in a different order,
+			// mixing cold fills with hot hits across goroutines.
+			stride := 1 + gi
+			for pass := 0; pass < passes; pass++ {
+				for step := 0; step < n; step++ {
+					i := (gi + step*stride) % n
+					if got := math.Float64bits(shared.B(loads[i], caps[i])); got != wantB[i] {
+						errc <- "B bits diverged from sequential cache"
+						return
+					}
+					if got := shared.ProtectionLevel(loads[i], caps[i], maxHops); got != wantR[i] {
+						errc <- "ProtectionLevel diverged from sequential cache"
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}
+
+// TestProtectionLevelsConcurrentBatch fills one shared cache with concurrent
+// ProtectionLevels batch calls and checks the batch output is bit-exact
+// against per-entry sequential computation.
+func TestProtectionLevelsConcurrentBatch(t *testing.T) {
+	loads, caps := table1Grid(t)
+	const maxHops = 6
+
+	want := erlang.ProtectionLevels(loads, caps, maxHops, nil)
+
+	shared := erlang.NewCache()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	results := make([][]int, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		go func(gi int) {
+			defer wg.Done()
+			results[gi] = erlang.ProtectionLevels(loads, caps, maxHops, shared)
+		}(gi)
+	}
+	wg.Wait()
+	for gi, got := range results {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("goroutine %d: ProtectionLevels[%d] = %d, want %d", gi, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -7,10 +7,8 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/bound"
 	"repro/internal/core"
@@ -29,10 +27,18 @@ type SimParams struct {
 	Seeds   int
 	Warmup  float64
 	Horizon float64
+	// Parallelism caps the worker goroutines each parallel stage of the
+	// experiment engine may use: seed runs within a point, load points
+	// within a sweep. 0 means GOMAXPROCS; 1 forces fully sequential
+	// execution. Results — sweep points, summaries, metrics, and any
+	// sink's event stream — are bit-identical at every setting (see
+	// DESIGN.md §10 for why).
+	Parallelism int
 	// Sink, when non-nil, receives every simulated run's event stream (see
-	// internal/obs). Attaching a sink serializes the per-seed runs that
-	// normally execute in parallel, so each run's events stay contiguous
-	// in the stream; results are unchanged either way.
+	// internal/obs). Runs still execute in parallel with a sink attached:
+	// each run buffers its events privately (obs.Buffer) and the engine
+	// flushes the buffers in seed order, so the delivered stream is
+	// byte-identical to sequential execution.
 	Sink obs.Sink
 	// Metrics, when non-nil, additionally collects solver convergence
 	// traces (fixed point, Equation-15 search). To also count simulation
@@ -105,138 +111,225 @@ func (s *Sweep) String() string {
 	return b.String()
 }
 
-// runPolicies measures mean blocking (over seeds) for each policy on the
-// given graph and matrix, replaying the identical trace per seed against all
-// policies (common random numbers). Seeds run in parallel — runs are
-// independent and the per-seed results are aggregated in seed order, so the
-// output is identical to the sequential computation.
+// policyRuns is the deferred half of a policy comparison: summaries plus
+// the side effects — buffered events, recorded spans — that must reach the
+// shared sink and metrics registry in deterministic order. Produced by
+// runPoliciesDeferred, consumed by commit.
+type policyRuns struct {
+	// sums maps policy name to its blocking summary over seeds (nil when
+	// err is set).
+	sums map[string]stats.Summary
+	// spans holds every completed run's measurement window in (seed,
+	// policy) order — the order the sequential engine fed Metrics.AddSpan.
+	spans []float64
+	// events holds the runs' event streams concatenated in seed order;
+	// non-nil exactly when a sink was requested.
+	events *obs.Buffer
+	// err is the first per-seed error in seed order.
+	err error
+}
+
+// runPoliciesDeferred measures mean blocking (over seeds) for each policy
+// on the given graph and matrix, replaying the identical trace per seed
+// against all policies (common random numbers). Seeds run on a bounded
+// worker pool (p.Parallelism workers); per-seed results merge in seed
+// order, so the output is bit-identical to the sequential computation. The
+// shared sink and metrics registry are NOT touched: each seed's runs write
+// to a private obs.Buffer and the buffers concatenate in seed order into
+// the returned policyRuns, whose commit delivers everything exactly as
+// sequential execution would have. That split lets BlockingSweep run whole
+// load points concurrently and still emit a deterministic stream.
 //
 // Policies consulted here must be stateless per call (true of every policy
 // in this repository except estimate.AdaptiveControlled, which callers run
 // with a fresh instance per seed anyway).
-func runPolicies(g *graph.Graph, m *traffic.Matrix, pols []sim.Policy, p SimParams) (map[string]stats.Summary, error) {
+func runPoliciesDeferred(g *graph.Graph, m *traffic.Matrix, pols []sim.Policy, p SimParams) policyRuns {
 	type seedResult struct {
 		blocking []float64 // indexed by policy
+		spans    []float64 // one per completed run, policy order
+		events   *obs.Buffer
 		err      error
 	}
 	results := make([]seedResult, p.Seeds)
-	runSeed := func(seed int) {
+	parallelFor(p.Seeds, p.workers(), func(seed int) {
+		sr := &results[seed]
+		var sink obs.Sink
+		if p.Sink != nil {
+			sr.events = obs.NewBuffer()
+			sink = sr.events
+		}
 		tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
-		sr := seedResult{blocking: make([]float64, len(pols))}
+		sr.blocking = make([]float64, len(pols))
 		for i, pol := range pols {
 			res, err := sim.Run(sim.Config{
 				Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup,
-				Sink: p.Sink, OccupancyEvents: p.OccupancyEvents,
+				Sink: sink, OccupancyEvents: p.OccupancyEvents,
 			})
 			if err != nil {
 				sr.err = fmt.Errorf("experiments: %s seed %d: %w", pol.Name(), seed, err)
 				break
 			}
 			sr.blocking[i] = res.Blocking()
-			if p.Metrics != nil {
-				// With the registry also attached as a sink, the accumulated
-				// span turns its accepted count into the carried-call rate
-				// (Snapshot.Throughput; cf. sim.Result.Throughput).
-				p.Metrics.AddSpan(res.Span)
-			}
+			sr.spans = append(sr.spans, res.Span)
 		}
-		results[seed] = sr
-	}
+	})
+	var out policyRuns
 	if p.Sink != nil {
-		// An attached sink observes runs sequentially in seed order, so
-		// each run's events stay contiguous (RunStart..RunEnd) and the
-		// stream is deterministic; results are identical either way.
-		for seed := 0; seed < p.Seeds; seed++ {
-			runSeed(seed)
+		out.events = obs.NewBuffer()
+	}
+	for seed := range results {
+		sr := &results[seed]
+		if sr.events != nil {
+			sr.events.FlushTo(out.events)
 		}
-	} else {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for seed := 0; seed < p.Seeds; seed++ {
-			wg.Add(1)
-			go func(seed int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				runSeed(seed)
-			}(seed)
+		out.spans = append(out.spans, sr.spans...)
+		if out.err == nil && sr.err != nil {
+			out.err = sr.err
 		}
-		wg.Wait()
+	}
+	if out.err != nil {
+		return out
 	}
 	perPolicy := make(map[string][]float64, len(pols))
-	for seed := 0; seed < p.Seeds; seed++ {
-		if results[seed].err != nil {
-			return nil, results[seed].err
-		}
+	for seed := range results {
 		for i, pol := range pols {
 			perPolicy[pol.Name()] = append(perPolicy[pol.Name()], results[seed].blocking[i])
 		}
 	}
-	out := make(map[string]stats.Summary, len(perPolicy))
+	out.sums = make(map[string]stats.Summary, len(perPolicy))
 	for name, xs := range perPolicy {
-		out[name] = stats.Summarize(xs)
+		out.sums[name] = stats.Summarize(xs)
 	}
-	return out, nil
+	return out
+}
+
+// commit performs the ordered half of a policy comparison: it flushes the
+// buffered event stream into p.Sink and feeds the recorded spans to
+// p.Metrics in (seed, policy) order — exactly the sequence sequential
+// execution produced (the span sum is a float accumulation, so even its
+// order is part of the bit-identity contract). It then returns the
+// summaries, or the first per-seed error; events recorded before the error
+// are flushed either way, matching the sequential engine.
+func (r policyRuns) commit(p SimParams) (map[string]stats.Summary, error) {
+	if r.events != nil {
+		r.events.FlushTo(p.Sink)
+	}
+	if p.Metrics != nil {
+		for _, span := range r.spans {
+			// With the registry also attached as a sink, the accumulated
+			// span turns its accepted count into the carried-call rate
+			// (Snapshot.Throughput; cf. sim.Result.Throughput).
+			p.Metrics.AddSpan(span)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.sums, nil
+}
+
+// runPolicies measures mean blocking (over seeds) for each policy and
+// delivers events and metrics immediately: the runPoliciesDeferred/commit
+// pair fused for callers that iterate points sequentially.
+func runPolicies(g *graph.Graph, m *traffic.Matrix, pols []sim.Policy, p SimParams) (map[string]stats.Summary, error) {
+	return runPoliciesDeferred(g, m, pols, p).commit(p)
 }
 
 // BlockingSweep runs a load sweep on one topology: for each load point,
 // build the scheme (which recomputes protection levels for that load), run
-// every requested policy over all seeds, and attach the Erlang bound.
+// every requested policy over all seeds, and attach the Erlang bound. Load
+// points execute concurrently on the engine's worker pool (p.Parallelism) —
+// each point's scheme derivation, seed runs, and Erlang bound form one job —
+// and merge in grid order, so the sweep, any attached sink's event stream,
+// and the metrics registry are bit-identical to sequential execution.
 //
 // makeMatrix maps a sweep abscissa to the offered matrix; makePolicies maps
-// the derived scheme to the policy set compared at that point.
+// the derived scheme to the policy set compared at that point. Both must be
+// safe for concurrent calls when p.Parallelism != 1 (true of every closure
+// in this repository: they read shared immutable inputs and build
+// point-local state).
 func BlockingSweep(g *graph.Graph, xs []float64, h int,
 	makeMatrix func(x float64) *traffic.Matrix,
 	makePolicies func(s *core.Scheme) ([]sim.Policy, error),
 	p SimParams) (*Sweep, error) {
 
 	p = p.withDefaults()
-	sweep := &Sweep{XLabel: "load"}
-	var names []string
-	bySeries := make(map[string][]Point)
 	// One Erlang cache for the whole sweep: consecutive load points share
 	// most of their (load, capacity) pairs on symmetric topologies, so later
 	// scheme derivations hit memoized Equation-15 levels (bit-identical to
-	// recomputation). Tracing bypasses the cache, so the two options do not
+	// recomputation; the cache is safe for the concurrent fills of parallel
+	// points). Tracing bypasses the cache, so the two options do not
 	// interact.
 	cache := erlang.NewCache()
-	for _, x := range xs {
+	type pointOut struct {
+		pols  []string   // policy names in comparison order
+		runs  policyRuns // deferred seed runs (events, spans, summaries)
+		bound float64
+		// derr is a scheme/policy derivation failure (nothing ran); berr an
+		// Erlang-bound failure (the runs completed and must still commit).
+		derr, berr error
+	}
+	outs := make([]pointOut, len(xs))
+	parallelFor(len(xs), p.workers(), func(i int) {
+		x := xs[i]
+		o := &outs[i]
 		m := makeMatrix(x)
 		opts := core.Options{H: h, ErlangCache: cache}
 		if p.Metrics != nil {
-			x := x
 			opts.ProtectionTrace = func(link graph.LinkID, r int, ratio float64) {
 				p.Metrics.Solver(fmt.Sprintf("eq15/load%g/link%d", x, link)).Observe(r, ratio, 0)
 			}
 		}
 		scheme, err := core.New(g, m, opts)
 		if err != nil {
-			return nil, err
+			o.derr = err
+			return
 		}
 		pols, err := makePolicies(scheme)
 		if err != nil {
-			return nil, err
+			o.derr = err
+			return
 		}
-		sums, err := runPolicies(g, m, pols, p)
+		for _, pol := range pols {
+			o.pols = append(o.pols, pol.Name())
+		}
+		o.runs = runPoliciesDeferred(g, m, pols, p)
+		eb, err := bound.ErlangBound(g, m)
+		if err != nil {
+			o.berr = err
+			return
+		}
+		o.bound = eb.Blocking
+	})
+	// Deterministic merge in grid order: commit each point's buffered
+	// events and spans, then fold its summaries into the series. Errors
+	// surface in the same position the sequential loop reported them.
+	sweep := &Sweep{XLabel: "load"}
+	var names []string
+	bySeries := make(map[string][]Point)
+	for i, x := range xs {
+		o := &outs[i]
+		if o.derr != nil {
+			return nil, o.derr
+		}
+		sums, err := o.runs.commit(p)
 		if err != nil {
 			return nil, err
 		}
-		for _, pol := range pols {
-			name := pol.Name()
+		if o.berr != nil {
+			return nil, o.berr
+		}
+		for _, name := range o.pols {
 			if _, seen := bySeries[name]; !seen {
 				names = append(names, name)
 			}
 			s := sums[name]
 			bySeries[name] = append(bySeries[name], Point{X: x, Y: s.Mean, Err: s.HalfWidth95})
 		}
-		eb, err := bound.ErlangBound(g, m)
-		if err != nil {
-			return nil, err
-		}
 		if _, seen := bySeries["erlang-bound"]; !seen {
 			names = append(names, "erlang-bound")
 		}
-		bySeries["erlang-bound"] = append(bySeries["erlang-bound"], Point{X: x, Y: eb.Blocking})
+		bySeries["erlang-bound"] = append(bySeries["erlang-bound"], Point{X: x, Y: o.bound})
 	}
 	for _, name := range names {
 		sweep.Series = append(sweep.Series, Series{Name: name, Points: bySeries[name]})
@@ -292,23 +385,14 @@ func fourPolicies(s *core.Scheme) ([]sim.Policy, error) {
 	return []sim.Policy{s.SinglePath(), s.Uncontrolled(), s.Controlled(), ok}, nil
 }
 
-// forEachSeed runs fn for every seed in [0, seeds) on bounded parallel
-// workers and returns the first error (by seed order). fn must only touch
-// per-seed state; aggregate after it returns.
-func forEachSeed(seeds int, fn func(seed int) error) error {
-	errs := make([]error, seeds)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for seed := 0; seed < seeds; seed++ {
-		wg.Add(1)
-		go func(seed int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[seed] = fn(seed)
-		}(seed)
-	}
-	wg.Wait()
+// forEachSeed runs fn for every seed in [0, p.Seeds) on the engine's worker
+// pool (p.Parallelism workers) and returns the first error (by seed order).
+// fn must only touch per-seed state; aggregate after it returns.
+func forEachSeed(p SimParams, fn func(seed int) error) error {
+	errs := make([]error, p.Seeds)
+	parallelFor(p.Seeds, p.workers(), func(seed int) {
+		errs[seed] = fn(seed)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -47,7 +47,7 @@ func Insensitivity(h int, p SimParams) ([]InsensitivityPoint, error) {
 		for i := range samples {
 			samples[i] = make([]float64, p.Seeds)
 		}
-		err := forEachSeed(p.Seeds, func(seed int) error {
+		err := forEachSeed(p, func(seed int) error {
 			tr, err := sim.GenerateTraceHolding(nominal, p.Horizon, int64(seed), dist)
 			if err != nil {
 				return err

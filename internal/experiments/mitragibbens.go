@@ -82,7 +82,7 @@ func MitraGibbens(opts MitraGibbensOptions) ([]MitraGibbensRow, error) {
 			}
 			blocked := make([]int64, p.Seeds)
 			offered := make([]int64, p.Seeds)
-			err := forEachSeed(p.Seeds, func(seed int) error {
+			err := forEachSeed(p, func(seed int) error {
 				tr := sim.GenerateTrace(m, p.Horizon, int64(seed))
 				res, err := sim.Run(sim.Config{
 					Graph:  g,

@@ -52,7 +52,7 @@ func Retrials(probs []float64, h int, p SimParams) ([]RetrialPoint, error) {
 		}
 		retriesBySeed := make([]int64, p.Seeds)
 		offeredBySeed := make([]int64, p.Seeds)
-		err := forEachSeed(p.Seeds, func(seed int) error {
+		err := forEachSeed(p, func(seed int) error {
 			tr := sim.GenerateTrace(nominal, p.Horizon, int64(seed))
 			for i, pol := range pols {
 				res, err := sim.RunWithRetrials(sim.RetrialConfig{

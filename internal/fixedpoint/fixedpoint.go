@@ -35,7 +35,15 @@ type Options struct {
 	// 0-based iteration index, the residual max |ΔB| after the sweep, and
 	// the wall time elapsed since Solve started. The convergence trace of
 	// the solve — pass obs.ConvergenceTrace.Observe (adapted) to export it.
+	// OnIteration fires on the calling goroutine in iteration order even
+	// when Parallelism > 1.
 	OnIteration func(iter int, residual float64, elapsed time.Duration)
+	// Parallelism caps the worker goroutines used for the per-link blocking
+	// evaluations inside each substitution sweep. Each sweep reads only the
+	// previous iterate (Jacobi style), so links are independent within a
+	// sweep and every per-link value — thinned-load sum order included — is
+	// bit-identical to sequential evaluation. 0 or 1 means sequential.
+	Parallelism int
 }
 
 // Result is the converged approximation.
@@ -110,6 +118,17 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 	for k := range caps {
 		caps[k] = g.Link(graph.LinkID(k)).Capacity
 	}
+	// Per-link incidence lists, in route order. Summing each link's thinned
+	// demand over its own list reproduces the route-major accumulation order
+	// exactly — for a fixed k the contributions arrive in the same sequence —
+	// so the float sums are bit-identical while the links become independent
+	// jobs for the Jacobi fan-out below.
+	linkRoutes := make([][]int32, nl)
+	for ri, rd := range routes {
+		for _, k := range rd.links {
+			linkRoutes[k] = append(linkRoutes[k], int32(ri))
+		}
+	}
 	// Memoize B(ρ, C) across links and sweeps: links related by symmetry
 	// carry identical reduced loads every sweep, and once the iteration
 	// settles the loads repeat exactly — either way the O(C) recursion runs
@@ -122,30 +141,36 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 	}
 	iter := 0
 	for ; iter < opts.MaxIterations; iter++ {
-		for k := range rho {
-			rho[k] = 0
-		}
-		for _, rd := range routes {
-			for _, k := range rd.links {
-				thin := rd.demand
-				for _, l := range rd.links {
-					if l != k {
-						thin *= 1 - b[l]
+		// Jacobi sweep: every link's thinned load and blocking update read
+		// only the previous iterate b, so links partition into independent
+		// jobs. Each job writes rho[k] and next[k] for its own k alone; the
+		// residual folds sequentially afterwards. The iteration sequence is
+		// therefore bit-for-bit the sequential one at any worker count.
+		parallelLinks(nl, opts.Parallelism, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				sum := 0.0
+				for _, ri := range linkRoutes[k] {
+					rd := &routes[ri]
+					thin := rd.demand
+					for _, l := range rd.links {
+						if int(l) != k {
+							thin *= 1 - b[l]
+						}
 					}
+					sum += thin
 				}
-				rho[k] += thin
+				rho[k] = sum
+				if !g.Up(graph.LinkID(k)) {
+					// Failed links block with certainty; skip damping so the
+					// value is exact from the first sweep.
+					next[k] = 1
+				} else {
+					next[k] = (1-opts.Damping)*b[k] + opts.Damping*cache.B(rho[k], caps[k])
+				}
 			}
-		}
+		})
 		worst := 0.0
 		for k := 0; k < nl; k++ {
-			if !g.Up(graph.LinkID(k)) {
-				// Failed links block with certainty; skip damping so the
-				// value is exact from the first sweep.
-				next[k] = 1
-			} else {
-				bk := cache.B(rho[k], caps[k])
-				next[k] = (1-opts.Damping)*b[k] + opts.Damping*bk
-			}
 			if d := math.Abs(next[k] - b[k]); d > worst {
 				worst = d
 			}

@@ -1,0 +1,32 @@
+package fixedpoint
+
+import "sync"
+
+// parallelLinks partitions [0, n) into at most `workers` contiguous chunks
+// and runs fn(lo, hi) for each, concurrently when workers > 1. The chunk
+// boundaries depend only on n and workers — never on scheduling — and fn
+// writes only slice elements its own chunk owns, so the array produced by a
+// parallel sweep is bit-identical to the sequential one. workers <= 1 (or a
+// single chunk) runs fn inline on the calling goroutine.
+func parallelLinks(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -11,14 +11,17 @@
 package sim_test
 
 import (
+	"bytes"
 	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
@@ -687,6 +690,112 @@ func TestGoldenAggregateFoldback(t *testing.T) {
 			if a.Windows != len(res.Windows) {
 				t.Fatalf("%s: aggregate windows %d != %d", label, a.Windows, len(res.Windows))
 			}
+		}
+	}
+}
+
+// --- Parallel-equivalence suite ---------------------------------------------
+
+// requireSameSweep fails unless the two sweeps agree exactly: same series
+// names in the same order, and bit-identical X, Y, and Err on every point.
+func requireSameSweep(t *testing.T, label string, got, want *experiments.Sweep) {
+	t.Helper()
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("%s: %d series, want %d", label, len(got.Series), len(want.Series))
+	}
+	for i := range want.Series {
+		gs, ws := got.Series[i], want.Series[i]
+		if gs.Name != ws.Name {
+			t.Fatalf("%s: series[%d] %q != %q", label, i, gs.Name, ws.Name)
+		}
+		if len(gs.Points) != len(ws.Points) {
+			t.Fatalf("%s: %s: %d points, want %d", label, ws.Name, len(gs.Points), len(ws.Points))
+		}
+		for j := range ws.Points {
+			gp, wp := gs.Points[j], ws.Points[j]
+			if !sameFloat(gp.X, wp.X) || !sameFloat(gp.Y, wp.Y) || !sameFloat(gp.Err, wp.Err) {
+				t.Fatalf("%s: %s[%d] = (%x,%x,%x), want (%x,%x,%x)", label, ws.Name, j,
+					math.Float64bits(gp.X), math.Float64bits(gp.Y), math.Float64bits(gp.Err),
+					math.Float64bits(wp.X), math.Float64bits(wp.Y), math.Float64bits(wp.Err))
+			}
+		}
+	}
+}
+
+// jsonlBytes serializes an event stream the way `altsim -events` does.
+func jsonlBytes(t *testing.T, events []obs.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	for _, e := range events {
+		sink.Event(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("jsonl flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenParallelSweepEquivalence is the determinism contract of the
+// parallel experiment engine: a sweep run with any Parallelism setting, at
+// any GOMAXPROCS, with or without a sink attached, is bit-identical to the
+// fully sequential run — every series point, every stats float, and (when a
+// sink is attached) the complete flushed event stream, down to the JSONL
+// bytes the CLI would write.
+func TestGoldenParallelSweepEquivalence(t *testing.T) {
+	p := experiments.SimParams{Seeds: 2, Warmup: 1, Horizon: 6}
+	quadLoads := []float64{85, 95}
+	nsfLoads := []float64{8, 12}
+
+	// Sequential baselines, computed once at the ambient GOMAXPROCS
+	// (Parallelism=1 never spawns workers, so GOMAXPROCS is irrelevant).
+	seqP := p
+	seqP.Parallelism = 1
+	seqSink := &recordSink{}
+	seqP.Sink = seqSink
+	quadWant, err := experiments.Quadrangle(quadLoads, 0, seqP)
+	if err != nil {
+		t.Fatalf("sequential quadrangle: %v", err)
+	}
+	seqNoSink := p
+	seqNoSink.Parallelism = 1
+	nsfWant, err := experiments.NSFNetSweep(nsfLoads, 11, false, seqNoSink)
+	if err != nil {
+		t.Fatalf("sequential nsfnet: %v", err)
+	}
+	wantJSONL := jsonlBytes(t, seqSink.events)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, gmp := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(gmp)
+		for _, par := range []int{0, 8} {
+			label := fmt.Sprintf("gomaxprocs=%d/parallel=%d", gmp, par)
+
+			// Instrumented quadrangle sweep: the sink must no longer force
+			// sequential execution, and the stream must match byte for byte.
+			pp := p
+			pp.Parallelism = par
+			sink := &recordSink{}
+			pp.Sink = sink
+			quadGot, err := experiments.Quadrangle(quadLoads, 0, pp)
+			if err != nil {
+				t.Fatalf("%s: quadrangle: %v", label, err)
+			}
+			requireSameSweep(t, label+"/quad", quadGot, quadWant)
+			requireSameEvents(t, label+"/quad-events", sink.events, seqSink.events)
+			if got := jsonlBytes(t, sink.events); !bytes.Equal(got, wantJSONL) {
+				t.Fatalf("%s: JSONL bytes diverge from sequential stream", label)
+			}
+
+			// Uninstrumented NSFNet sweep (scheme derivation + seeds +
+			// Erlang bound per point fan out across load points).
+			np := p
+			np.Parallelism = par
+			nsfGot, err := experiments.NSFNetSweep(nsfLoads, 11, false, np)
+			if err != nil {
+				t.Fatalf("%s: nsfnet: %v", label, err)
+			}
+			requireSameSweep(t, label+"/nsfnet", nsfGot, nsfWant)
 		}
 	}
 }
