@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race fmt bench bench-obs fuzz-smoke
+.PHONY: check build vet lint test race fmt bench bench-obs fuzz-smoke examples
 
 check: fmt vet build lint race
 
@@ -47,3 +47,13 @@ bench-obs:
 fuzz-smoke:
 	$(GO) test ./internal/erlang/ -run '^$$' -fuzz FuzzErlangB -fuzztime 10s
 	$(GO) test ./internal/erlang/ -run '^$$' -fuzz FuzzProtectionLevel -fuzztime 10s
+
+# Run every example end to end with reduced horizons (the CI examples
+# smoke job). Output goes to /dev/null; a non-zero exit is the signal.
+examples:
+	$(GO) run ./examples/quickstart -seeds 1 -horizon 25 >/dev/null
+	$(GO) run ./examples/nsfnet -seeds 1 -horizon 25 >/dev/null
+	$(GO) run ./examples/failures -seeds 1 -horizon 30 >/dev/null
+	$(GO) run ./examples/adaptive -seeds 1 -horizon 30 >/dev/null
+	$(GO) run ./examples/cellular -seeds 1 -horizon 25 >/dev/null
+	$(GO) run ./examples/exactcheck -quick >/dev/null

@@ -298,6 +298,68 @@ func NewControlledPolicy(t *RouteTable, r []int) Policy {
 	return policy.Controlled{T: t, R: r}
 }
 
+// Dynamic failures (see internal/sim/failure.go and DESIGN.md §11).
+
+type (
+	// FailurePlan is a deterministic schedule of link failure/repair events
+	// merged into the simulation clock via RunConfig.Failures.
+	FailurePlan = sim.FailurePlan
+
+	// FailureEvent is one scheduled topology change of a FailurePlan.
+	FailureEvent = sim.FailureEvent
+
+	// FailoverMode selects how in-flight calls on a failing link are handled.
+	FailoverMode = sim.FailoverMode
+
+	// OutageParams parameterizes GenerateOutages.
+	OutageParams = sim.OutageParams
+
+	// NetworkState is the instantaneous per-link occupancy and failure state
+	// the simulator maintains; RunConfig.TopologyHook receives it at every
+	// failure/repair epoch.
+	NetworkState = sim.State
+
+	// AdaptMode selects how a scheme responds to mid-run topology changes.
+	AdaptMode = core.AdaptMode
+
+	// AdaptiveScheme pairs a derived scheme with an adaptation mode; its
+	// Policy and Hook plug into RunConfig (per run — it is stateful).
+	AdaptiveScheme = core.AdaptiveScheme
+)
+
+// Failover modes for RunConfig.Failover.
+const (
+	// FailoverDrop tears down affected calls (counted as LostToFailure).
+	FailoverDrop = sim.FailoverDrop
+	// FailoverReroute gives each affected call one re-admission attempt over
+	// the surviving topology, state protection included.
+	FailoverReroute = sim.FailoverReroute
+)
+
+// Adaptation modes for Scheme.Adaptive.
+const (
+	// AdaptNone freezes the nominal scheme across failures.
+	AdaptNone = core.AdaptNone
+	// AdaptRederive re-derives routes and protection levels from the
+	// degraded topology at every failure/repair epoch.
+	AdaptRederive = core.AdaptRederive
+)
+
+// GenerateOutages draws seeded random link outages (alternating exp(MTBF)
+// up / exp(MTTR) down renewal processes) over [0, horizon) as a
+// FailurePlan. The plan is a pure function of (graph shape, horizon,
+// params) and is disjoint from the traffic streams of the same seed.
+func GenerateOutages(g *Graph, horizon float64, p OutageParams) (*FailurePlan, error) {
+	return sim.GenerateOutages(g, horizon, p)
+}
+
+// ReadFailurePlanJSON decodes the altsim -failures JSON plan format
+// ({"t","from","to","down"[,"duplex"]} entries; endpoints are node ids or
+// names), resolving endpoints against the graph.
+func ReadFailurePlanJSON(r io.Reader, g *Graph) (*FailurePlan, error) {
+	return sim.ReadFailurePlanJSON(r, g)
+}
+
 // SolveFixedPoint computes the Erlang fixed-point (reduced-load)
 // approximation of single-path blocking for the route table's primaries:
 // the analytic counterpart of the simulated single-path curve.

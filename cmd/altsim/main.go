@@ -33,6 +33,7 @@
 //	retrials      extension: customer retrials (assumption-A2 stress)
 //	insensitivity extension: holding-time distribution sensitivity
 //	capacity      extension: headroom search at a 1% grade of service
+//	availability  extension: blocking and lost-to-failure vs random outage rate
 //	custom        run the three-policy comparison on a -scenario JSON file
 //	export-scenario  dump the NSFNet scenario as JSON (template for custom)
 //	dot           Graphviz DOT of the NSFNet model (or a -scenario file)
@@ -45,6 +46,12 @@
 // -parallel flag caps the worker goroutines of every parallel stage (seed
 // runs, sweep points, fixed-point links); 0 uses GOMAXPROCS, 1 forces
 // sequential execution, and every setting prints identical output.
+//
+// Failure flags: -rates (availability outage-rate grid), -mtbf/-mttr inject
+// seeded random outages into custom runs (availability always injects; its
+// MTBF grid is 1/rate), -failures plan.json replays a scripted plan
+// (custom), -failover drop|reroute picks the in-flight handling mode. See
+// internal/sim.FailurePlan and DESIGN.md §11.
 //
 // Observability flags (any experiment): -events stream.jsonl writes the full
 // simulation event stream as JSONL; -metrics out.json writes a counters-and-
@@ -63,6 +70,7 @@ import (
 	"repro/internal/bound"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/netio"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
@@ -85,6 +93,11 @@ func main() {
 	csvPath := fs.String("csv", "", "also write sweep data as CSV to this file (quad/nsfnet/h6/ottkrishnan)")
 	scenario := fs.String("scenario", "", "scenario JSON file (custom)")
 	parallel := fs.Int("parallel", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	ratesFlag := fs.String("rates", "", "comma-separated per-link outage rates (availability; default grid)")
+	mtbf := fs.Float64("mtbf", 0, "mean time between link failures, holding times (custom; 0 = no random outages)")
+	mttr := fs.Float64("mttr", 0.5, "mean link repair time, holding times (availability/custom)")
+	failuresPath := fs.String("failures", "", "scripted failure-plan JSON file (custom)")
+	failoverFlag := fs.String("failover", "drop", `in-flight calls on a failed link: "drop" or "reroute"`)
 	of := registerObsFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -93,6 +106,14 @@ func main() {
 	obsFinish = of.setup(&p)
 	defer obsFinish()
 	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rates, err := parseLoads(*ratesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	failover, err := parseFailover(*failoverFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -179,8 +200,17 @@ func main() {
 		fmt.Print(must(experiments.Peakedness(10, pick(*hFlag, 11), p)))
 	case "focused":
 		fmt.Print(experiments.RenderFocused(must(experiments.FocusedOverload(loads, pick(*hFlag, 11), p))))
+	case "availability":
+		load := 0.0
+		if len(loads) > 0 {
+			load = loads[0]
+		}
+		av := must(experiments.NSFNetAvailability(load, rates, pick(*hFlag, 11), *mttr, failover, p))
+		fmt.Print(av)
 	case "custom":
-		runCustom(*scenario, *hFlag, p)
+		runCustom(*scenario, *hFlag, failureOpts{
+			planPath: *failuresPath, mtbf: *mtbf, mttr: *mttr, mode: failover,
+		}, p)
 	case "export-scenario":
 		exportScenario()
 	case "dot":
@@ -314,6 +344,17 @@ func parseLoads(s string) ([]float64, error) {
 	return out, nil
 }
 
+// parseFailover maps the -failover flag to a sim.FailoverMode.
+func parseFailover(s string) (sim.FailoverMode, error) {
+	switch s {
+	case "", "drop":
+		return sim.FailoverDrop, nil
+	case "reroute":
+		return sim.FailoverReroute, nil
+	}
+	return 0, fmt.Errorf("unknown -failover %q (want drop or reroute)", s)
+}
+
 func pick(v, def int) int {
 	if v > 0 {
 		return v
@@ -343,15 +384,42 @@ func usage() {
 experiments: fig2 quad table1 nsfnet h6 failures skew minloss ottkrishnan
              mitragibbens cellular robust signaling multirate fixedpoint
              overflow ramp dalfar hvariants focused peakedness generalize
-             retrials insensitivity capacity custom export-scenario dot
-             verify report bound all
+             retrials insensitivity capacity availability custom
+             export-scenario dot verify report bound all
 flags: -seeds N -warmup T -horizon T -loads a,b,c -H n -csv file -parallel N
+       -rates a,b,c -mtbf T -mttr T -failures plan.json -failover drop|reroute
        -events stream.jsonl -metrics out.json -pprof addr -progress 2s`)
 }
 
+// failureOpts carries the CLI's dynamic-failure settings into custom runs:
+// a scripted plan file, or seeded random outages when mtbf > 0.
+type failureOpts struct {
+	planPath   string
+	mtbf, mttr float64
+	mode       sim.FailoverMode
+}
+
+// active reports whether any failure injection was requested.
+func (fo failureOpts) active() bool { return fo.planPath != "" || fo.mtbf > 0 }
+
+// plan returns the failure plan for one seed: the scripted file verbatim
+// (identical for every seed), or generated duplex outages on the seed's own
+// substream.
+func (fo failureOpts) plan(g *graph.Graph, scripted *sim.FailurePlan, horizon float64, seed int64) (*sim.FailurePlan, error) {
+	if scripted != nil {
+		return scripted, nil
+	}
+	if fo.mtbf <= 0 {
+		return nil, nil
+	}
+	return sim.GenerateOutages(g, horizon, sim.OutageParams{
+		MTBF: fo.mtbf, MTTR: fo.mttr, Duplex: true, Seed: seed,
+	})
+}
+
 // runCustom executes the single-path / uncontrolled / controlled comparison
-// on a user-supplied scenario file.
-func runCustom(path string, h int, p experiments.SimParams) {
+// on a user-supplied scenario file, optionally under failure injection.
+func runCustom(path string, h int, fo failureOpts, p experiments.SimParams) {
 	if path == "" {
 		fatal(fmt.Errorf("custom requires -scenario file.json (see export-scenario for a template)"))
 	}
@@ -384,11 +452,32 @@ func runCustom(path string, h int, p experiments.SimParams) {
 	if p.Horizon <= 0 {
 		p.Horizon = p.Warmup + 100
 	}
+	var scripted *sim.FailurePlan
+	if fo.planPath != "" {
+		pf, err := os.Open(fo.planPath)
+		if err != nil {
+			fatal(err)
+		}
+		scripted, err = sim.ReadFailurePlanJSON(pf, g)
+		pf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("scenario %q: %d nodes, %d links, %.1f Erlangs offered, H=%d\n",
 		scen.Name, g.NumNodes(), g.NumLinks(), m.Total(), scheme.H)
-	fmt.Printf("%-24s %12s %12s %14s\n", "policy", "blocking", "±95%", "calls/unit")
+	if fo.active() {
+		src := fmt.Sprintf("plan %s", fo.planPath)
+		if scripted == nil {
+			src = fmt.Sprintf("random outages MTBF=%g MTTR=%g", fo.mtbf, fo.mttr)
+		}
+		fmt.Printf("failures: %s, failover=%s\n", src, fo.mode)
+		fmt.Printf("%-24s %12s %12s %12s %14s\n", "policy", "blocking", "±95%", "lost", "calls/unit")
+	} else {
+		fmt.Printf("%-24s %12s %12s %14s\n", "policy", "blocking", "±95%", "calls/unit")
+	}
 	for _, pol := range []sim.Policy{scheme.SinglePath(), scheme.Uncontrolled(), scheme.Controlled()} {
-		var xs, tps []float64
+		var xs, tps, lost []float64
 		for seed := 0; seed < p.Seeds; seed++ {
 			// Streaming arrivals: the generator's per-pair substreams make a
 			// fresh stream per policy replay the identical call sequence
@@ -397,8 +486,13 @@ func runCustom(path string, h int, p experiments.SimParams) {
 			if err != nil {
 				fatal(err)
 			}
+			plan, err := fo.plan(g, scripted, p.Horizon, int64(seed))
+			if err != nil {
+				fatal(err)
+			}
 			res, err := sim.Run(sim.Config{
 				Graph: g, Policy: pol, Source: src, Warmup: p.Warmup,
+				Failures: plan, Failover: fo.mode,
 				Sink: p.Sink, OccupancyEvents: p.OccupancyEvents,
 			})
 			if err != nil {
@@ -406,13 +500,20 @@ func runCustom(path string, h int, p experiments.SimParams) {
 			}
 			xs = append(xs, res.Blocking())
 			tps = append(tps, res.Throughput())
+			lost = append(lost, float64(res.LostToFailure)/float64(res.Offered))
 			if p.Metrics != nil {
 				p.Metrics.AddSpan(res.Span)
 			}
 		}
 		sum := stats.Summarize(xs)
 		tsum := stats.Summarize(tps)
-		fmt.Printf("%-24s %12.5f %12.5f %14.1f\n", pol.Name(), sum.Mean, sum.HalfWidth95, tsum.Mean)
+		if fo.active() {
+			lsum := stats.Summarize(lost)
+			fmt.Printf("%-24s %12.5f %12.5f %12.5f %14.1f\n",
+				pol.Name(), sum.Mean, sum.HalfWidth95, lsum.Mean, tsum.Mean)
+		} else {
+			fmt.Printf("%-24s %12.5f %12.5f %14.1f\n", pol.Name(), sum.Mean, sum.HalfWidth95, tsum.Mean)
+		}
 	}
 	if eb, err := bound.ErlangBound(g, m); err == nil {
 		fmt.Printf("%-24s %12.5f\n", "erlang-bound", eb.Blocking)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,6 +17,10 @@ import (
 )
 
 func main() {
+	seeds := flag.Int("seeds", 6, "independent runs per policy")
+	horizonFlag := flag.Float64("horizon", 110, "run horizon (mean holding times)")
+	flag.Parse()
+
 	g := altroute.NSFNet()
 	nominal, err := altroute.NSFNetNominalMatrix()
 	if err != nil {
@@ -26,7 +31,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	const horizon, warmup = 110, 10
+	horizon, warmup := *horizonFlag, 10.0
 	profile := sim.RampProfile(0.7, 1.3, horizon) // mean load = nominal
 	fmt.Println("load ramp 0.7× → 1.3× nominal over the run; protection engineered at nominal")
 	fmt.Printf("%-24s %12s\n", "policy", "blocking")
@@ -34,7 +39,7 @@ func main() {
 	type runner func(seed int64, tr *altroute.Trace) (*altroute.RunResult, error)
 	run := func(name string, mk func() (altroute.Policy, error)) {
 		var blocked, offered int64
-		for seed := int64(0); seed < 6; seed++ {
+		for seed := int64(0); seed < int64(*seeds); seed++ {
 			tr, err := sim.GenerateTraceVarying(nominal, profile, horizon, seed)
 			if err != nil {
 				log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,13 +13,17 @@ import (
 )
 
 func main() {
+	seeds := flag.Int("seeds", 6, "independent runs per mode")
+	horizon := flag.Float64("horizon", 110, "run horizon (mean holding times)")
+	flag.Parse()
+
 	fmt.Println("channel borrowing on a 12-cell ring, C=50 channels, co-cell sets of 3")
 	fmt.Printf("%-10s %14s %14s %14s\n", "E/cell", "no-borrow", "uncontrolled", "controlled")
 	for _, load := range []float64{40, 46, 52, 58, 64} {
 		agg := map[altroute.CellularMode][2]int64{}
-		for seed := int64(0); seed < 6; seed++ {
+		for seed := int64(0); seed < int64(*seeds); seed++ {
 			results, err := altroute.CompareCellular(altroute.CellularConfig{
-				Load: load, Seed: seed,
+				Load: load, Seed: seed, Horizon: *horizon,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -48,9 +53,9 @@ func main() {
 		altroute.NoBorrowing, altroute.UncontrolledBorrowing, altroute.ControlledBorrowing,
 	} {
 		var blocked, offered, borrowed int64
-		for seed := int64(0); seed < 6; seed++ {
+		for seed := int64(0); seed < int64(*seeds); seed++ {
 			res, err := altroute.RunCellular(altroute.CellularConfig{
-				Loads: loads, Seed: seed,
+				Loads: loads, Seed: seed, Horizon: *horizon,
 			}, mode)
 			if err != nil {
 				log.Fatal(err)

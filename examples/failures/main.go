@@ -1,9 +1,15 @@
-// Failures scenario: the §4 link-failure study — disable the duplex links
-// the paper disables, re-derive the scheme for the degraded topology, and
-// confirm the ordering of the routing disciplines is preserved.
+// Failures scenario: the §4 link-failure study on the dynamic failure
+// engine. Instead of deriving a separate scheme per degraded topology, one
+// run injects the failure and repair of the duplex trunk 2↔3 mid-run
+// (altroute.FailurePlan), tears down or reroutes the calls caught on it,
+// and compares the routing disciplines — including the adaptive scheme
+// that re-derives its protection levels from the degraded topology at the
+// failure epoch. A second sweep replaces the scripted plan with seeded
+// random outages on every trunk.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,42 +17,103 @@ import (
 )
 
 func main() {
+	seeds := flag.Int("seeds", 5, "independent runs per policy")
+	horizon := flag.Float64("horizon", 110, "run horizon (mean holding times)")
+	flag.Parse()
+
+	g := altroute.NSFNet()
 	nominal, err := altroute.NSFNetNominalMatrix()
 	if err != nil {
 		log.Fatal(err)
 	}
 	m := nominal.Scaled(1.2) // load 12: past nominal, where control matters
 
-	for _, pair := range [][2]altroute.NodeID{{2, 3}, {7, 9}} {
-		g := altroute.NSFNet()
-		if err := g.SetDuplexDown(pair[0], pair[1], true); err != nil {
-			log.Fatal(err)
+	// One scheme, derived from the intact network; the failure arrives at
+	// run time. A shared Erlang cache keeps the adaptive re-derivations
+	// (one per distinct failure pattern) cheap across all runs.
+	scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{H: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := altroute.NewErlangCache()
+
+	const warmup = 10
+	downAt := warmup + (*horizon-warmup)*0.25
+	upAt := warmup + (*horizon-warmup)*0.75
+	plan := &altroute.FailurePlan{}
+	if err := plan.AddDuplex(g, 2, 3, downAt, true); err != nil {
+		log.Fatal(err)
+	}
+	if err := plan.AddDuplex(g, 2, 3, upAt, false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trunk 2↔3 fails at t=%.1f, repaired at t=%.1f (horizon %.0f, warmup %d)\n",
+		downAt, upAt, *horizon, warmup)
+
+	type hook = func(float64, *altroute.NetworkState)
+	type variant struct {
+		name     string
+		policy   func() (altroute.Policy, hook)
+		failover altroute.FailoverMode
+	}
+	static := func(p altroute.Policy, mode altroute.FailoverMode) variant {
+		return variant{
+			name:     p.Name() + "/" + mode.String(),
+			policy:   func() (altroute.Policy, hook) { return p, nil },
+			failover: mode,
 		}
-		// Protection levels must be re-derived: failures reroute primaries
-		// and change every Λ^k.
-		scheme, err := altroute.NewScheme(g, m, altroute.SchemeOptions{H: 11})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("links %d↔%d down (network still connected: %v)\n",
-			pair[0], pair[1], g.Connected())
-		for _, pol := range []altroute.Policy{
-			scheme.SinglePath(), scheme.Uncontrolled(), scheme.Controlled(),
-		} {
-			var blocked, offered int64
-			for seed := int64(0); seed < 5; seed++ {
-				trace := altroute.GenerateTrace(m, 110, seed)
+	}
+	variants := []variant{
+		static(scheme.SinglePath(), altroute.FailoverDrop),
+		static(scheme.Uncontrolled(), altroute.FailoverReroute),
+		static(scheme.Controlled(), altroute.FailoverDrop),
+		static(scheme.Controlled(), altroute.FailoverReroute),
+		{
+			name: "controlled-adapted/reroute",
+			policy: func() (altroute.Policy, hook) {
+				// Adaptive state is per run: a fresh instance each time.
+				ad := scheme.Adaptive(altroute.AdaptRederive, cache)
+				return ad.Policy(), ad.Hook()
+			},
+			failover: altroute.FailoverReroute,
+		},
+	}
+
+	run := func(title string, mkPlan func(seed int64) (*altroute.FailurePlan, error)) {
+		fmt.Printf("\n%s\n", title)
+		fmt.Printf("%-28s %10s %10s %10s\n", "policy/failover", "blocking", "lost", "rerouted")
+		for _, v := range variants {
+			var blocked, offered, lost, rerouted int64
+			for seed := int64(0); seed < int64(*seeds); seed++ {
+				pl, err := mkPlan(seed)
+				if err != nil {
+					log.Fatal(err)
+				}
+				pol, h := v.policy()
 				res, err := altroute.Run(altroute.RunConfig{
-					Graph: g, Policy: pol, Trace: trace, Warmup: 10,
+					Graph: g, Policy: pol, Warmup: warmup,
+					Trace:    altroute.GenerateTrace(m, *horizon, seed),
+					Failures: pl, Failover: v.failover, TopologyHook: h,
 				})
 				if err != nil {
 					log.Fatal(err)
 				}
 				blocked += res.Blocked
 				offered += res.Offered
+				lost += res.LostToFailure
+				rerouted += res.FailureRerouted
 			}
-			fmt.Printf("  %-24s blocking %.4f\n", pol.Name(), float64(blocked)/float64(offered))
+			fmt.Printf("%-28s %10.4f %10d %10d\n",
+				v.name, float64(blocked)/float64(offered), lost, rerouted)
 		}
-		fmt.Println()
 	}
+
+	run("scripted outage of trunk 2↔3:", func(int64) (*altroute.FailurePlan, error) {
+		return plan, nil
+	})
+	run("random outages, every trunk (MTBF=25, MTTR=1):", func(seed int64) (*altroute.FailurePlan, error) {
+		return altroute.GenerateOutages(g, *horizon, altroute.OutageParams{
+			MTBF: 25, MTTR: 1, Duplex: true, Seed: seed,
+		})
+	})
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,6 +12,10 @@ import (
 )
 
 func main() {
+	seeds := flag.Int("seeds", 3, "simulation seeds per sweep point")
+	horizon := flag.Float64("horizon", 0, "run horizon (0 = default)")
+	flag.Parse()
+
 	g := altroute.NSFNet()
 	nominal, err := altroute.NSFNetNominalMatrix()
 	if err != nil {
@@ -38,7 +43,7 @@ func main() {
 	// A short Figures-6/7 sweep (fewer seeds than the paper for speed; use
 	// cmd/altsim nsfnet for the full 10-seed version).
 	sweep, err := altroute.NSFNetFigure([]float64{8, 10, 12, 14}, 11, true,
-		altroute.SimParams{Seeds: 3})
+		altroute.SimParams{Seeds: *seeds, Horizon: *horizon})
 	if err != nil {
 		log.Fatal(err)
 	}

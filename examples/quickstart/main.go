@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,6 +12,10 @@ import (
 )
 
 func main() {
+	seeds := flag.Int("seeds", 5, "independent runs per policy")
+	horizon := flag.Float64("horizon", 110, "run horizon (mean holding times)")
+	flag.Parse()
+
 	// The paper's §4.1 testbed: 4 nodes, fully connected, 100 calls per
 	// directed link, symmetric offered load.
 	g := altroute.Quadrangle()
@@ -32,11 +37,10 @@ func main() {
 	// three disciplines.
 	fmt.Printf("%-24s %10s %10s %10s\n", "policy", "blocking", "primary", "alternate")
 	policies := []altroute.Policy{scheme.SinglePath(), scheme.Uncontrolled(), scheme.Controlled()}
-	const seeds = 5
 	for _, pol := range policies {
 		var blocked, offeredN, prim, alt int64
-		for seed := int64(0); seed < seeds; seed++ {
-			trace := altroute.GenerateTrace(m, 110, seed)
+		for seed := int64(0); seed < int64(*seeds); seed++ {
+			trace := altroute.GenerateTrace(m, *horizon, seed)
 			res, err := altroute.Run(altroute.RunConfig{
 				Graph: g, Policy: pol, Trace: trace, Warmup: 10,
 			})

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/erlang"
+	"repro/internal/graph"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// AdaptMode selects how a derived scheme responds to topology changes
+// during a run with dynamic failures (sim.Config.Failures).
+type AdaptMode int
+
+const (
+	// AdaptNone freezes the scheme as derived from the nominal topology:
+	// routes and protection levels r^k never change, so calls whose
+	// primary traverses a down link survive only via the nominal
+	// alternates — the paper's static §4 setting.
+	AdaptNone AdaptMode = iota
+	// AdaptRederive rebuilds the route table and re-derives the protection
+	// levels (Equation 15) from the degraded topology at every
+	// failure/repair epoch, using the shared Erlang cache; the scheme that
+	// controlled the nominal network keeps controlling the surviving one.
+	AdaptRederive
+)
+
+// String returns the mode's report name.
+func (m AdaptMode) String() string {
+	if m == AdaptRederive {
+		return "rederive"
+	}
+	return "none"
+}
+
+// AdaptiveScheme binds a derived Scheme to an adaptation mode, yielding a
+// controlled policy plus the sim.Config.TopologyHook that drives it. An
+// AdaptiveScheme is stateful (the policy's table and levels are swapped at
+// failure epochs): build a fresh one per run and do not share it across
+// concurrent runs. Derived schemes are memoized by down-link signature, so
+// a repair back to a previously seen topology reuses its derivation — with
+// the shared Erlang cache, sweeps over many failure patterns stay cheap.
+type AdaptiveScheme struct {
+	base  *Scheme
+	mode  AdaptMode
+	cache *erlang.Cache
+	dyn   *policy.Dynamic
+	memo  map[string]adapted
+}
+
+// adapted is one memoized derivation for a down-link signature.
+type adapted struct {
+	table *policy.Table
+	prot  []int
+}
+
+// Adaptive wraps the scheme for dynamic-failure runs. cache may be nil for
+// a private Erlang cache; pass a shared one when many runs adapt over the
+// same capacities.
+func (s *Scheme) Adaptive(mode AdaptMode, cache *erlang.Cache) *AdaptiveScheme {
+	if cache == nil {
+		cache = erlang.NewCache()
+	}
+	a := &AdaptiveScheme{
+		base:  s,
+		mode:  mode,
+		cache: cache,
+		dyn:   policy.NewDynamic(s.Table, s.Protection),
+		memo:  make(map[string]adapted),
+	}
+	// The all-up signature is the base derivation itself.
+	sig := make([]byte, s.Graph.NumLinks())
+	a.memo[string(sig)] = adapted{table: s.Table, prot: s.Protection}
+	return a
+}
+
+// Policy returns the controlled policy whose routes and protection levels
+// follow the adaptation (with AdaptNone it simply stays on the base
+// scheme). The policy is per-run state; see AdaptiveScheme.
+func (a *AdaptiveScheme) Policy() sim.Policy { return a.dyn }
+
+// Hook returns the sim.Config.TopologyHook that re-derives the scheme at
+// failure/repair epochs, or nil for AdaptNone (no hook, no overhead).
+func (a *AdaptiveScheme) Hook() func(at float64, st *sim.State) {
+	if a.mode != AdaptRederive {
+		return nil
+	}
+	return func(_ float64, st *sim.State) { a.rederive(st) }
+}
+
+// rederive swaps the policy to the scheme derived for the state's current
+// down-link set. If the degraded topology is disconnected or route
+// building fails, the current scheme is kept: a stale route table degrades
+// service (its dead paths simply never admit), a missing one would drop
+// everything.
+func (a *AdaptiveScheme) rederive(st *sim.State) {
+	n := a.base.Graph.NumLinks()
+	sig := make([]byte, n)
+	for id := 0; id < n; id++ {
+		if st.LinkDown(graph.LinkID(id)) {
+			sig[id] = 1
+		}
+	}
+	if m, ok := a.memo[string(sig)]; ok {
+		a.dyn.Swap(m.table, m.prot)
+		return
+	}
+	g := a.base.Graph.Clone()
+	for id := 0; id < n; id++ {
+		g.SetDown(graph.LinkID(id), sig[id] != 0)
+	}
+	if !g.Connected() {
+		return
+	}
+	table, err := policy.BuildMinHop(g, a.base.H)
+	if err != nil {
+		return
+	}
+	loads := expectedPrimaryLoads(g, a.base.Matrix, table)
+	caps := make([]int, n)
+	for id := range caps {
+		caps[id] = g.Link(graph.LinkID(id)).Capacity
+	}
+	prot := erlang.ProtectionLevels(loads, caps, table.MaxAltHops, a.cache)
+	a.memo[string(sig)] = adapted{table: table, prot: prot}
+	a.dyn.Swap(table, prot)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func TestAdaptModeString(t *testing.T) {
+	if AdaptNone.String() != "none" || AdaptRederive.String() != "rederive" {
+		t.Errorf("mode names: %q, %q", AdaptNone, AdaptRederive)
+	}
+}
+
+func TestAdaptiveNoneIsInert(t *testing.T) {
+	g := netmodel.Quadrangle()
+	s, err := New(g, traffic.Uniform(4, 85), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Adaptive(AdaptNone, nil)
+	if a.Hook() != nil {
+		t.Error("AdaptNone must install no topology hook")
+	}
+	if a.Policy().Name() != "controlled-adapted" {
+		t.Errorf("policy name %q", a.Policy().Name())
+	}
+}
+
+func TestAdaptiveRederiveSwapsAndMemoizes(t *testing.T) {
+	g := netmodel.Quadrangle()
+	s, err := New(g, traffic.Uniform(4, 85), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Adaptive(AdaptRederive, nil)
+	hook := a.Hook()
+	if hook == nil {
+		t.Fatal("AdaptRederive must install a topology hook")
+	}
+	st := sim.NewState(g)
+
+	// Fail the duplex trunk between nodes 0 and 1: traffic 0<->1 must now
+	// ride the surviving two-hop routes, so the rebuilt table differs and
+	// the degraded network carries more load per trunk.
+	l01 := g.LinkBetween(0, 1)
+	l10 := g.LinkBetween(1, 0)
+	if l01 == graph.InvalidLink || l10 == graph.InvalidLink {
+		t.Fatal("quadrangle is missing the 0<->1 trunk")
+	}
+	st.SetLinkDown(l01, true)
+	st.SetLinkDown(l10, true)
+	hook(1.0, st)
+	degraded := a.dyn.Table()
+	if degraded == s.Table {
+		t.Fatal("rederive kept the nominal table despite a down trunk")
+	}
+	rs := degraded.Routes(0, 1)
+	if rs == nil || len(rs.Primaries) == 0 {
+		t.Fatal("degraded table has no primaries for 0->1")
+	}
+	for _, wp := range rs.Primaries {
+		if len(wp.Path.Links) < 2 {
+			t.Errorf("degraded primary 0->1 has %d hops, want a detour", len(wp.Path.Links))
+		}
+		for _, id := range wp.Path.Links {
+			if id == l01 {
+				t.Error("degraded primary routes over the down link")
+			}
+		}
+	}
+	degradedProt := a.dyn.Protection()
+
+	// Repair: the all-up signature is pre-seeded, so the swap must restore
+	// the base derivation itself, not a re-computed copy.
+	st.SetLinkDown(l01, false)
+	st.SetLinkDown(l10, false)
+	hook(2.0, st)
+	if a.dyn.Table() != s.Table {
+		t.Error("repair to the nominal topology must restore the base table")
+	}
+
+	// Same failure again: memo hit must return the identical derivation.
+	st.SetLinkDown(l01, true)
+	st.SetLinkDown(l10, true)
+	hook(3.0, st)
+	if a.dyn.Table() != degraded {
+		t.Error("repeated failure pattern must reuse the memoized table")
+	}
+	if len(a.memo) != 2 {
+		t.Errorf("%d memo entries, want 2 (all-up + one failure pattern)", len(a.memo))
+	}
+	for i, r := range a.dyn.Protection() {
+		if r != degradedProt[i] {
+			t.Errorf("memoized protection[%d] = %d, want %d", i, r, degradedProt[i])
+		}
+	}
+}
+
+func TestAdaptiveRederiveKeepsSchemeWhenDisconnected(t *testing.T) {
+	// A 3-node line: losing the a-b trunk disconnects the graph, so the
+	// hook must keep the current (stale) scheme rather than swap to nothing.
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	if _, _, err := g.AddDuplex(a, b, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.AddDuplex(b, c, 30); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, traffic.Uniform(3, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := s.Adaptive(AdaptRederive, nil)
+	hook := ad.Hook()
+	st := sim.NewState(g)
+	st.SetLinkDown(g.LinkBetween(a, b), true)
+	st.SetLinkDown(g.LinkBetween(b, a), true)
+	hook(1.0, st)
+	if ad.dyn.Table() != s.Table {
+		t.Error("disconnected rederive must keep the current table")
+	}
+	if len(ad.memo) != 1 {
+		t.Errorf("%d memo entries after failed derivation, want 1", len(ad.memo))
+	}
+}

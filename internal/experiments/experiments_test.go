@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cellular"
 	"repro/internal/netmodel"
+	"repro/internal/sim"
 	"repro/internal/traffic"
 )
 
@@ -685,5 +686,47 @@ func TestCapacityHeadroom(t *testing.T) {
 	}
 	if !strings.Contains(RenderCapacity(0.01, res), "headroom") {
 		t.Error("render malformed")
+	}
+}
+
+func TestAvailabilitySweepShape(t *testing.T) {
+	g := netmodel.Quadrangle()
+	m := traffic.Uniform(4, 90)
+	p := SimParams{Seeds: 2, Warmup: 2, Horizon: 20}
+	av, err := AvailabilitySweep("quadrangle", g, m, []float64{0.01, 0.05}, 0, 0.5, sim.FailoverReroute, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range []*Sweep{av.Blocking, av.Lost, av.Unserved} {
+		if len(sw.Series) != 4 {
+			t.Fatalf("%s: %d series, want 4 (3 static + adapted)", sw.Title, len(sw.Series))
+		}
+		for _, s := range sw.Series {
+			if len(s.Points) != 2 {
+				t.Fatalf("%s/%s: %d points, want 2", sw.Title, s.Name, len(s.Points))
+			}
+		}
+	}
+	if av.Blocking.SeriesByName("controlled-adapted") == nil {
+		t.Fatal("missing adapted series")
+	}
+	// Unserved = blocking + lost must hold per point per policy (same runs).
+	for i, s := range av.Unserved.Series {
+		for j, pt := range s.Points {
+			want := av.Blocking.Series[i].Points[j].Y + av.Lost.Series[i].Points[j].Y
+			if diff := pt.Y - want; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("%s[%d]: unserved %v != blocking+lost %v", s.Name, j, pt.Y, want)
+			}
+		}
+	}
+	// The lost fraction must respond to the outage rate for at least the
+	// vulnerable single-path policy (common random numbers make this stable).
+	sp := av.Lost.SeriesByName("single-path")
+	if sp.Points[1].Y <= sp.Points[0].Y {
+		t.Errorf("single-path lost fraction not increasing in outage rate: %v -> %v",
+			sp.Points[0].Y, sp.Points[1].Y)
+	}
+	if s := av.String(); !strings.Contains(s, "outage rate") || !strings.Contains(s, "lost-to-failure") {
+		t.Error("String() missing sweep titles")
 	}
 }

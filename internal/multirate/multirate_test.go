@@ -349,3 +349,30 @@ func TestDisciplineString(t *testing.T) {
 		t.Error("unknown discipline should render")
 	}
 }
+
+// TestPathAdmitsShortProtectionSlice: regression for the grown-topology
+// crash — a protection slice derived before links were added must degrade
+// to r = 0 on the new links, not index out of range.
+func TestPathAdmitsShortProtectionSlice(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	old := g.MustAddLink(a, b, 10)
+	r := []int{3} // derived when only link `old` existed
+	grown := g.MustAddLink(b, c, 10)
+	s := NewState(g)
+	p := paths.Path{Nodes: []graph.NodeID{a, b, c}, Links: []graph.LinkID{old, grown}}
+	// Would panic on the unguarded r[grown] before the fix.
+	if !s.pathAdmits(p, 2, true, r) {
+		t.Error("idle path must admit an alternate under short r")
+	}
+	s.occupy(paths.Path{Links: []graph.LinkID{grown}}, 9)
+	if s.pathAdmits(p, 2, true, r) {
+		t.Error("grown link at 9/10 must refuse bw=2 even with r=0")
+	}
+	s.occupy(paths.Path{Links: []graph.LinkID{old}}, 7)
+	if s.pathAdmits(p, 1, true, r) {
+		t.Error("old link keeps its protection: 7+1 > 10-3")
+	}
+}

@@ -142,11 +142,14 @@ func (s *State) AdmitsAlternate(id graph.LinkID, bw, r int) bool {
 	return s.occ[id]+bw <= c-r
 }
 
+// pathAdmits checks every link of the path; for alternates, protection
+// levels beyond the end of r (topology grown after scheme derivation)
+// count as r = 0 rather than panicking.
 func (s *State) pathAdmits(p paths.Path, bw int, alt bool, r []int) bool {
 	for _, id := range p.Links {
 		if alt {
 			prot := 0
-			if r != nil {
+			if uint(id) < uint(len(r)) {
 				prot = r[id]
 			}
 			if !s.AdmitsAlternate(id, bw, prot) {

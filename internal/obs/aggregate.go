@@ -21,6 +21,13 @@ type RunTotals struct {
 	CarriedHopCount int64 `json:"carried_hop_count"`
 	// Departed counts teardowns (measured and not).
 	Departed int64 `json:"departed"`
+	// LostToFailure and FailureRerouted count in-flight calls torn down or
+	// rescued at measured failure epochs (mirroring sim.Result).
+	LostToFailure   int64 `json:"lost_to_failure,omitempty"`
+	FailureRerouted int64 `json:"failure_rerouted,omitempty"`
+	// LinkDowns and LinkUps count failure and repair events.
+	LinkDowns int `json:"link_downs,omitempty"`
+	LinkUps   int `json:"link_ups,omitempty"`
 	// Windows counts closed measurement windows.
 	Windows int `json:"windows,omitempty"`
 }
@@ -75,6 +82,18 @@ func Aggregate(events []Event) []RunTotals {
 			}
 		case KindCallDeparted:
 			ensure().Departed++
+		case KindCallLostFailure:
+			if e.Measured {
+				ensure().LostToFailure++
+			}
+		case KindCallRerouted:
+			if e.Measured {
+				ensure().FailureRerouted++
+			}
+		case KindLinkDown:
+			ensure().LinkDowns++
+		case KindLinkUp:
+			ensure().LinkUps++
 		case KindWindowClosed:
 			ensure().Windows++
 		}

@@ -48,17 +48,38 @@ const (
 	// KindRunEnd closes a run's segment; Offered and Blocked carry the
 	// run's measured totals as a cross-check.
 	KindRunEnd
+	// KindLinkDown records a scheduled link failure (sim.FailurePlan):
+	// Link is the failed link, Occupancy its occupancy at the failure epoch
+	// (the in-flight calls about to be torn down or rerouted).
+	KindLinkDown
+	// KindLinkUp records a link repair; Occupancy is always zero (a
+	// repaired link rejoins empty, see DESIGN.md §11).
+	KindLinkUp
+	// KindCallLostFailure records an in-flight call torn down by a link
+	// failure without re-admission: Link is the failed link on its path,
+	// Hops the torn path's length, Measured whether the failure epoch lies
+	// in the measurement window (mirrors Result.LostToFailure).
+	KindCallLostFailure
+	// KindCallRerouted records an in-flight call re-admitted onto a
+	// surviving path at a failure epoch (FailoverReroute): Hops is the new
+	// path's length, Alternate whether it is an alternate of the call's
+	// pair (mirrors Result.FailureRerouted).
+	KindCallRerouted
 )
 
 var kindNames = [...]string{
-	KindRunStart:      "run-start",
-	KindCallOffered:   "call-offered",
-	KindCallAdmitted:  "call-admitted",
-	KindCallBlocked:   "call-blocked",
-	KindCallDeparted:  "call-departed",
-	KindLinkOccupancy: "link-occupancy",
-	KindWindowClosed:  "window-closed",
-	KindRunEnd:        "run-end",
+	KindRunStart:        "run-start",
+	KindCallOffered:     "call-offered",
+	KindCallAdmitted:    "call-admitted",
+	KindCallBlocked:     "call-blocked",
+	KindCallDeparted:    "call-departed",
+	KindLinkOccupancy:   "link-occupancy",
+	KindWindowClosed:    "window-closed",
+	KindRunEnd:          "run-end",
+	KindLinkDown:        "link-down",
+	KindLinkUp:          "link-up",
+	KindCallLostFailure: "call-lost-failure",
+	KindCallRerouted:    "call-rerouted",
 }
 
 // String returns the kind's wire name (used in JSONL output).

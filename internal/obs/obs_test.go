@@ -54,7 +54,7 @@ func TestJSONLRejectsGarbage(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := KindRunStart; k <= KindRunEnd; k++ {
+	for k := KindRunStart; k <= KindCallRerouted; k++ {
 		text, err := k.MarshalText()
 		if err != nil {
 			t.Fatalf("marshal %d: %v", k, err)

@@ -65,6 +65,8 @@ type Registry struct {
 	offered, accepted, blocked         atomic.Int64
 	primaryAccepted, alternateAccepted atomic.Int64
 	departed                           atomic.Int64
+	lostToFailure, failureRerouted     atomic.Int64
+	linkDowns, linkUps                 atomic.Int64
 
 	carriedHops *IntHist
 	drained     *IntHist
@@ -118,6 +120,18 @@ func (r *Registry) Event(e Event) {
 		}
 	case KindCallDeparted:
 		r.departed.Add(1)
+	case KindCallLostFailure:
+		if e.Measured {
+			r.lostToFailure.Add(1)
+		}
+	case KindCallRerouted:
+		if e.Measured {
+			r.failureRerouted.Add(1)
+		}
+	case KindLinkDown:
+		r.linkDowns.Add(1)
+	case KindLinkUp:
+		r.linkUps.Add(1)
 	case KindLinkOccupancy:
 		r.linkHist(e.Link).Observe(e.Occupancy)
 	}
@@ -175,15 +189,22 @@ func (r *Registry) Solver(name string) *ConvergenceTrace {
 // Blocking is nil until at least one measured call was offered (the
 // zero-offered blocking probability is undefined, not zero).
 type Snapshot struct {
-	Runs              int64    `json:"runs"`
-	Events            int64    `json:"events"`
-	Offered           int64    `json:"offered"`
-	Accepted          int64    `json:"accepted"`
-	PrimaryAccepted   int64    `json:"primary_accepted"`
-	AlternateAccepted int64    `json:"alternate_accepted"`
-	Blocked           int64    `json:"blocked"`
-	Departed          int64    `json:"departed"`
-	Blocking          *float64 `json:"blocking,omitempty"`
+	Runs              int64 `json:"runs"`
+	Events            int64 `json:"events"`
+	Offered           int64 `json:"offered"`
+	Accepted          int64 `json:"accepted"`
+	PrimaryAccepted   int64 `json:"primary_accepted"`
+	AlternateAccepted int64 `json:"alternate_accepted"`
+	Blocked           int64 `json:"blocked"`
+	Departed          int64 `json:"departed"`
+	// LostToFailure and FailureRerouted count in-flight calls torn down or
+	// rescued at measured failure epochs; LinkDowns and LinkUps count the
+	// failure and repair events themselves (sim.Config.Failures runs).
+	LostToFailure   int64    `json:"lost_to_failure,omitempty"`
+	FailureRerouted int64    `json:"failure_rerouted,omitempty"`
+	LinkDowns       int64    `json:"link_downs,omitempty"`
+	LinkUps         int64    `json:"link_ups,omitempty"`
+	Blocking        *float64 `json:"blocking,omitempty"`
 	// CarriedHops is the path-length histogram of carried calls (index =
 	// hops).
 	CarriedHops []int64 `json:"carried_hops,omitempty"`
@@ -217,6 +238,10 @@ func (r *Registry) Snapshot() Snapshot {
 		AlternateAccepted: r.alternateAccepted.Load(),
 		Blocked:           r.blocked.Load(),
 		Departed:          r.departed.Load(),
+		LostToFailure:     r.lostToFailure.Load(),
+		FailureRerouted:   r.failureRerouted.Load(),
+		LinkDowns:         r.linkDowns.Load(),
+		LinkUps:           r.linkUps.Load(),
 		CarriedHops:       r.carriedHops.Counts(),
 		DrainedPerArrival: r.drained.Counts(),
 	}

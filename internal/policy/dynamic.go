@@ -1,0 +1,63 @@
+package policy
+
+import (
+	"repro/internal/paths"
+	"repro/internal/sim"
+)
+
+// Dynamic is Controlled with a replaceable route table and protection
+// levels: the policy half of online scheme adaptation under link failures
+// (core.AdaptiveScheme swaps in a scheme re-derived from the degraded
+// topology at each failure/repair epoch, see DESIGN.md §11). Swaps take
+// effect for every admission and re-admission decision after them.
+//
+// A Dynamic is stateful — callers must use a fresh instance per run and
+// must not share one across concurrent runs.
+type Dynamic struct {
+	t *Table
+	r []int
+}
+
+// NewDynamic returns a dynamic controlled policy starting from the given
+// table and per-link protection levels.
+func NewDynamic(t *Table, r []int) *Dynamic {
+	return &Dynamic{t: t, r: r}
+}
+
+// Swap replaces the route table and protection levels. The new table may
+// cover a degraded topology whose r slice is shorter than the original
+// link space; missing entries count as r = 0 (see
+// sim.State.PathAdmitsAlternate).
+func (p *Dynamic) Swap(t *Table, r []int) {
+	p.t = t
+	p.r = r
+}
+
+// Table returns the currently active route table.
+func (p *Dynamic) Table() *Table { return p.t }
+
+// Protection returns the currently active protection levels.
+func (p *Dynamic) Protection() []int { return p.r }
+
+// Name implements sim.Policy.
+func (p *Dynamic) Name() string { return "controlled-adapted" }
+
+// PrimaryPath implements sim.Policy.
+func (p *Dynamic) PrimaryPath(_ *sim.State, c sim.Call) paths.Path {
+	return p.t.SelectPrimary(c)
+}
+
+// Route implements sim.Policy. It is Controlled.Route against the policy's
+// current table and levels.
+func (p *Dynamic) Route(s *sim.State, c sim.Call) (paths.Path, bool, bool) {
+	prim := p.t.SelectPrimary(c)
+	if ok, _ := s.PathAdmitsPrimary(prim); ok {
+		return prim, false, true
+	}
+	for _, alt := range p.t.alternatesFor(c, prim) {
+		if ok, _ := s.PathAdmitsAlternate(alt, p.r); ok {
+			return alt, true, true
+		}
+	}
+	return paths.Path{}, false, false
+}

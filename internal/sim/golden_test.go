@@ -388,6 +388,10 @@ func requireSameResult(t *testing.T, label string, got, want *sim.Result) {
 	if got.CarriedHopCount != want.CarriedHopCount {
 		t.Fatalf("%s: CarriedHopCount %d != %d", label, got.CarriedHopCount, want.CarriedHopCount)
 	}
+	if got.LostToFailure != want.LostToFailure || got.FailureRerouted != want.FailureRerouted {
+		t.Fatalf("%s: failure counters (%d,%d) != (%d,%d)", label,
+			got.LostToFailure, got.FailureRerouted, want.LostToFailure, want.FailureRerouted)
+	}
 	if !sameFloat(got.Span, want.Span) {
 		t.Fatalf("%s: Span %v != %v", label, got.Span, want.Span)
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -57,6 +58,24 @@ type Config struct {
 	// roughly 2·hops extra events per carried call. Ignored when Sink is
 	// nil.
 	OccupancyEvents bool
+	// Failures schedules link failure and repair events inside the run (see
+	// FailurePlan). Nil or empty reproduces the static engine exactly:
+	// byte-identical event stream, bit-identical Result. The plan mutates
+	// only the run's own State (never the shared Graph), so concurrent runs
+	// over one topology stay independent.
+	Failures *FailurePlan
+	// Failover selects what happens to in-flight calls traversing a link at
+	// its failure epoch: FailoverDrop (default) tears them down and counts
+	// LostToFailure; FailoverReroute grants each one re-admission attempt
+	// over the surviving topology first.
+	Failover FailoverMode
+	// TopologyHook, when non-nil, runs after every failure/repair epoch's
+	// state changes and before affected calls are torn down or rerouted —
+	// the attachment point for online scheme adaptation (see
+	// core.AdaptiveScheme): the hook may re-derive the policy's routes and
+	// protection levels from the degraded topology. It must be
+	// deterministic; it is never called on a run without plan events.
+	TopologyHook func(at float64, s *State)
 }
 
 // WindowStats is one time window's counts.
@@ -83,6 +102,15 @@ type Result struct {
 	LinkTimeUtil []float64
 	// CarriedHopCount sums hops over accepted calls (resource usage).
 	CarriedHopCount int64
+	// LostToFailure counts calls torn down mid-flight by a link failure
+	// (Config.Failures) without a successful re-admission, for failure
+	// epochs inside the measurement window. Lost calls remain counted in
+	// Accepted — they were admitted — so carried traffic over the window is
+	// Accepted − LostToFailure.
+	LostToFailure int64
+	// FailureRerouted counts calls re-admitted onto a surviving path by
+	// FailoverReroute, for failure epochs inside the measurement window.
+	FailureRerouted int64
 	// Windows holds the per-window time series when Config.WindowLength was
 	// set.
 	Windows []WindowStats
@@ -145,21 +173,33 @@ type departureHeap struct {
 	at   []float64 // heap-ordered departure epochs
 	slot []int32   // pool slot of each heap entry
 	pool []paths.Path
-	free []int32 // reusable pool slots
+	meta []depMeta // call identity of each pool slot (failure teardowns)
+	free []int32   // reusable pool slots
+}
+
+// depMeta is the call identity carried alongside each pooled path so the
+// failure machinery can name and re-route in-flight calls; the plan-less
+// hot path never reads it.
+type depMeta struct {
+	id           int64
+	origin, dest int32
 }
 
 func (h *departureHeap) len() int { return len(h.at) }
 
-// push schedules a teardown of path p at epoch at.
-func (h *departureHeap) push(at float64, p paths.Path) {
+// push schedules a teardown of path p at epoch at for the call identified
+// by m.
+func (h *departureHeap) push(at float64, p paths.Path, m depMeta) {
 	var s int32
 	if n := len(h.free); n > 0 {
 		s = h.free[n-1]
 		h.free = h.free[:n-1]
 		h.pool[s] = p
+		h.meta[s] = m
 	} else {
 		s = int32(len(h.pool))
 		h.pool = append(h.pool, p)
+		h.meta = append(h.meta, m)
 	}
 	h.at = append(h.at, at)
 	h.slot = append(h.slot, s)
@@ -184,8 +224,15 @@ func (h *departureHeap) pop() (at float64, p paths.Path) {
 	s := h.slot[0]
 	h.at[0], h.slot[0] = h.at[n], h.slot[n]
 	h.at, h.slot = h.at[:n], h.slot[:n]
-	// Sift down (container/heap's down).
-	i := 0
+	h.siftDown(0)
+	h.free = append(h.free, s)
+	return at, h.pool[s]
+}
+
+// siftDown restores the heap invariant below index i (container/heap's
+// down — same comparisons, same swap sequence).
+func (h *departureHeap) siftDown(i int) {
+	n := len(h.at)
 	for {
 		j1 := 2*i + 1
 		if j1 >= n {
@@ -202,8 +249,42 @@ func (h *departureHeap) pop() (at float64, p paths.Path) {
 		h.slot[i], h.slot[j] = h.slot[j], h.slot[i]
 		i = j
 	}
-	h.free = append(h.free, s)
-	return at, h.pool[s]
+}
+
+// torndown is one in-flight call removed from the heap by a link failure.
+type torndown struct {
+	at   float64 // the cancelled departure epoch (arrival + holding)
+	path paths.Path
+	meta depMeta
+}
+
+// extract removes every scheduled departure whose path satisfies hit and
+// rebuilds the heap over the survivors with a Floyd heapify. The extracted
+// paths are copies of the pool entries, so they stay valid across later
+// pushes. Extraction follows heap-array order — callers sort the result
+// (by call id) before acting on it, so the simulation never depends on
+// heap-layout accidents.
+func (h *departureHeap) extract(hit func(paths.Path) bool) []torndown {
+	var out []torndown
+	n := 0
+	for i := 0; i < len(h.at); i++ {
+		s := h.slot[i]
+		if hit(h.pool[s]) {
+			out = append(out, torndown{at: h.at[i], path: h.pool[s], meta: h.meta[s]})
+			h.free = append(h.free, s)
+			continue
+		}
+		h.at[n], h.slot[n] = h.at[i], h.slot[i]
+		n++
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	h.at, h.slot = h.at[:n], h.slot[:n]
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return out
 }
 
 // Run replays the trace against the policy and returns the measurement
@@ -224,8 +305,18 @@ func Run(cfg Config) (*Result, error) {
 	if horizon <= 0 {
 		horizon = src.Horizon()
 	}
+	// NaN comparisons are all false, so a NaN warmup or horizon would slip
+	// past the range check below and silently poison every counter — reject
+	// non-finite windows explicitly.
+	if math.IsNaN(cfg.Warmup) || math.IsInf(cfg.Warmup, 0) || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("sim: warmup %v and horizon %v must be finite", cfg.Warmup, horizon)
+	}
 	if cfg.Warmup < 0 || cfg.Warmup >= horizon {
 		return nil, fmt.Errorf("sim: warmup %v outside [0, %v)", cfg.Warmup, horizon)
+	}
+	plan, err := cfg.Failures.normalized(cfg.Graph)
+	if err != nil {
+		return nil, err
 	}
 
 	st := NewState(cfg.Graph)
@@ -315,6 +406,127 @@ func Run(cfg Config) (*Result, error) {
 		lastT = now
 	}
 
+	// applyPlanGroup consumes every plan event sharing the front event's
+	// epoch as one atomic topology change, then tears down or reroutes the
+	// affected in-flight calls (DESIGN.md §11). The caller guarantees
+	// pi < len(plan).
+	pi := 0
+	applyPlanGroup := func() {
+		at := plan[pi].Epoch
+		accumulate(at)
+		var downed []graph.LinkID
+		for pi < len(plan) && math.Float64bits(plan[pi].Epoch) == math.Float64bits(at) {
+			ev := plan[pi]
+			pi++
+			if st.LinkDown(ev.Link) == ev.Down {
+				continue // no-op: the link is already in the requested state
+			}
+			st.SetLinkDown(ev.Link, ev.Down)
+			if instrumented {
+				kind := obs.KindLinkUp
+				if ev.Down {
+					kind = obs.KindLinkDown
+				}
+				obs.Emit(sink, obs.Event{
+					Kind: kind, Time: at,
+					Link: int(ev.Link), Occupancy: st.Occupancy(ev.Link),
+				})
+			}
+			if ev.Down {
+				downed = append(downed, ev.Link)
+			}
+		}
+		// Adaptation sees the new topology before any re-admission attempt,
+		// so rescued calls route under the adapted scheme.
+		if cfg.TopologyHook != nil {
+			cfg.TopologyHook(at, st)
+		}
+		if len(downed) == 0 {
+			return
+		}
+		hitsDowned := func(p paths.Path) bool {
+			for _, id := range p.Links {
+				for _, d := range downed {
+					if id == d {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		torn := deps.extract(hitsDowned)
+		if len(torn) == 0 {
+			return
+		}
+		// The failure hits all affected calls simultaneously: release every
+		// dead path first (in call-id order), then run re-admission attempts
+		// one by one so each sees the capacity freed by all teardowns plus
+		// that booked by earlier rescues. Repair invariant: because every
+		// call traversing a failing link is released here and no admission
+		// books a down link, a repaired link always rejoins with zero
+		// occupancy.
+		sort.Slice(torn, func(i, j int) bool { return torn[i].meta.id < torn[j].meta.id })
+		for _, tc := range torn {
+			st.Release(tc.path)
+			if occupancyEvents {
+				sampleOccupancy(at, tc.path)
+			}
+		}
+		measured := at >= cfg.Warmup && at < horizon
+		for _, tc := range torn {
+			if cfg.Failover == FailoverReroute {
+				// One re-admission attempt over the surviving topology.
+				// Arrival is the failure epoch and Holding the remaining
+				// duration, so the rescued call keeps its original departure.
+				c := Call{
+					ID:     int(tc.meta.id),
+					Origin: graph.NodeID(tc.meta.origin), Dest: graph.NodeID(tc.meta.dest),
+					Arrival: at, Holding: tc.at - at,
+				}
+				if p, alternate, ok := cfg.Policy.Route(st, c); ok {
+					st.Occupy(p)
+					deps.push(tc.at, p, tc.meta)
+					if measured {
+						res.FailureRerouted++
+					}
+					if instrumented {
+						obs.Emit(sink, obs.Event{
+							Kind: obs.KindCallRerouted, Time: at, Call: int(tc.meta.id),
+							Origin: int(tc.meta.origin), Dest: int(tc.meta.dest),
+							Hops: p.Hops(), Alternate: alternate, Measured: measured,
+						})
+						if occupancyEvents {
+							sampleOccupancy(at, p)
+						}
+					}
+					continue
+				}
+			}
+			if measured {
+				res.LostToFailure++
+			}
+			if instrumented {
+				lostAt := graph.InvalidLink
+				for _, id := range tc.path.Links {
+					if lostAt != graph.InvalidLink {
+						break
+					}
+					for _, d := range downed {
+						if id == d {
+							lostAt = id
+							break
+						}
+					}
+				}
+				obs.Emit(sink, obs.Event{
+					Kind: obs.KindCallLostFailure, Time: at, Call: int(tc.meta.id),
+					Origin: int(tc.meta.origin), Dest: int(tc.meta.dest),
+					Link: int(lostAt), Hops: tc.path.Hops(), Measured: measured,
+				})
+			}
+		}
+	}
+
 	obs.Emit(sink, obs.Event{Kind: obs.KindRunStart, Policy: res.Policy, Seed: src.Seed()})
 	drained := 0
 	for {
@@ -322,11 +534,21 @@ func Run(cfg Config) (*Result, error) {
 		if !more || c.Arrival >= horizon {
 			break
 		}
-		// Process departures up to this arrival. Simultaneous departures
-		// run before the arrival (heap pop on at <= Arrival), so freed
-		// capacity is visible to the admission decision — the event stream
-		// preserves that order.
-		for deps.len() > 0 && deps.at[0] <= c.Arrival {
+		// Process departures and plan events up to this arrival, in time
+		// order. Simultaneous departures run before the arrival (heap pop on
+		// at <= Arrival), so freed capacity is visible to the admission
+		// decision — the event stream preserves that order. Departures tie
+		// ahead of plan events at the same epoch: a call ending exactly when
+		// its link fails completes normally.
+		for {
+			hasDep := deps.len() > 0 && deps.at[0] <= c.Arrival
+			if pi < len(plan) && plan[pi].Epoch <= c.Arrival && !(hasDep && deps.at[0] <= plan[pi].Epoch) {
+				applyPlanGroup()
+				continue
+			}
+			if !hasDep {
+				break
+			}
 			at, path := deps.pop()
 			accumulate(at)
 			st.Release(path)
@@ -367,7 +589,9 @@ func Run(cfg Config) (*Result, error) {
 		p, alternate, ok := cfg.Policy.Route(st, c)
 		if ok {
 			st.Occupy(p)
-			deps.push(c.Arrival+c.Holding, p)
+			deps.push(c.Arrival+c.Holding, p, depMeta{
+				id: int64(c.ID), origin: int32(c.Origin), dest: int32(c.Dest),
+			})
 			if measured {
 				res.Accepted++
 				res.CarriedHopCount += int64(p.Hops())
@@ -412,8 +636,17 @@ func Run(cfg Config) (*Result, error) {
 			})
 		}
 	}
-	// Drain remaining departures inside the horizon for utilization.
-	for deps.len() > 0 && deps.at[0] <= horizon {
+	// Drain remaining departures and plan events inside the horizon for
+	// utilization (same departures-first tie rule as the main loop).
+	for {
+		hasDep := deps.len() > 0 && deps.at[0] <= horizon
+		if pi < len(plan) && plan[pi].Epoch <= horizon && !(hasDep && deps.at[0] <= plan[pi].Epoch) {
+			applyPlanGroup()
+			continue
+		}
+		if !hasDep {
+			break
+		}
 		at, path := deps.pop()
 		accumulate(at)
 		st.Release(path)

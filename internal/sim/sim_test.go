@@ -134,11 +134,26 @@ func TestStateAdmissionSemantics(t *testing.T) {
 	if s2.AdmitsAlternate(id, 99) {
 		t.Error("r > C blocks alternates entirely")
 	}
-	// Down link admits nothing.
-	g.SetDown(id, true)
+	// Down link admits nothing. Failure state is snapshotted at NewState
+	// and updated per run via SetLinkDown (dynamic failure injection);
+	// graph-level SetDown after NewState is invisible to an existing state.
+	s2.SetLinkDown(id, true)
 	if s2.AdmitsPrimary(id) || s2.AdmitsAlternate(id, 0) {
 		t.Error("down link should admit nothing")
 	}
+	if s2.Free(id) != 0 {
+		t.Errorf("down link Free=%d, want 0", s2.Free(id))
+	}
+	s2.SetLinkDown(id, false)
+	if !s2.AdmitsPrimary(id) {
+		t.Error("repaired link should admit again")
+	}
+	g.SetDown(id, true)
+	s3 := NewState(g)
+	if s3.AdmitsPrimary(id) || !s3.LinkDown(id) {
+		t.Error("statically-down link should be snapshotted as down")
+	}
+	g.SetDown(id, false)
 }
 
 func TestStatePathChecksAndBlockingLink(t *testing.T) {

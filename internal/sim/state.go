@@ -18,15 +18,28 @@ type State struct {
 	g   *graph.Graph
 	occ []int
 	// links is the graph's live link-record view (see graph.LinkView):
-	// admission checks read capacity and failure state through it without a
-	// per-access record copy. Failure toggles remain visible; links added
-	// after NewState are not (occ is sized at creation anyway).
+	// admission checks read capacity through it without a per-access record
+	// copy. Links added after NewState are not visible (occ is sized at
+	// creation anyway).
 	links []graph.Link
+	// down is the run-local failure state, snapshotted from the graph's
+	// static Down flags at NewState and updated only through SetLinkDown.
+	// Dynamic failure injection (sim.Config.Failures) mutates this bitmap,
+	// never the graph itself, so concurrent runs sharing one topology stay
+	// independent.
+	down []bool
 }
 
-// NewState returns an all-idle state for the graph.
+// NewState returns an all-idle state for the graph. The graph's Down flags
+// are snapshotted: later SetDown calls on the graph are not seen by this
+// state (use SetLinkDown for mid-run failure events).
 func NewState(g *graph.Graph) *State {
-	return &State{g: g, occ: make([]int, g.NumLinks()), links: g.LinkView()}
+	links := g.LinkView()
+	down := make([]bool, len(links))
+	for i := range links {
+		down[i] = links[i].Down
+	}
+	return &State{g: g, occ: make([]int, len(links)), links: links, down: down}
 }
 
 // Graph returns the underlying topology.
@@ -35,10 +48,27 @@ func (s *State) Graph() *graph.Graph { return s.g }
 // Occupancy returns the number of calls in progress on the link.
 func (s *State) Occupancy(id graph.LinkID) int { return s.occ[id] }
 
+// LinkDown reports the link's failure state as seen by this run: the
+// graph's static flags at NewState plus any SetLinkDown events applied
+// since. Links out of range count as down.
+func (s *State) LinkDown(id graph.LinkID) bool {
+	return uint(id) >= uint(len(s.down)) || s.down[id]
+}
+
+// SetLinkDown updates the run-local failure state of a link. The graph
+// itself is untouched, so concurrent runs sharing a topology are not
+// affected; sim.Run drives this from Config.Failures. Out-of-range ids are
+// ignored.
+func (s *State) SetLinkDown(id graph.LinkID, down bool) {
+	if uint(id) < uint(len(s.down)) {
+		s.down[id] = down
+	}
+}
+
 // Free returns the spare capacity of the link (0 for down or unknown
 // links).
 func (s *State) Free(id graph.LinkID) int {
-	if uint(id) >= uint(len(s.links)) || s.links[id].Down {
+	if uint(id) >= uint(len(s.links)) || s.down[id] {
 		return 0
 	}
 	return s.links[id].Capacity - s.occ[id]
@@ -55,7 +85,7 @@ func (s *State) AdmitsPrimary(id graph.LinkID) bool {
 // alternates in its last r+1 states (C−r, …, C), i.e. it admits iff
 // occupancy <= C−r−1 (§2).
 func (s *State) AdmitsAlternate(id graph.LinkID, r int) bool {
-	if uint(id) >= uint(len(s.links)) || s.links[id].Down {
+	if uint(id) >= uint(len(s.links)) || s.down[id] {
 		return false
 	}
 	c := s.links[id].Capacity
@@ -83,10 +113,13 @@ func (s *State) PathAdmitsPrimary(p paths.Path) (bool, graph.LinkID) {
 // PathAdmitsAlternate reports whether every link of the path admits an
 // alternate call under the per-link protection levels r (indexed by LinkID;
 // nil means no protection anywhere, i.e. uncontrolled alternate routing).
+// Links beyond the end of r — a topology grown after the scheme that
+// derived r — carry no protection (r = 0): a short slice must degrade
+// gracefully, not panic.
 func (s *State) PathAdmitsAlternate(p paths.Path, r []int) (bool, graph.LinkID) {
 	for _, id := range p.Links {
 		prot := 0
-		if r != nil {
+		if uint(id) < uint(len(r)) {
 			prot = r[id]
 		}
 		if !s.AdmitsAlternate(id, prot) {
@@ -96,18 +129,28 @@ func (s *State) PathAdmitsAlternate(p paths.Path, r []int) (bool, graph.LinkID) 
 	return true, graph.InvalidLink
 }
 
-// Occupy books one call on every link of the path. It panics if any link
-// lacks capacity — policies must have verified admission first.
+// Occupy books one call on every link of the path. It panics on overbooking
+// (a link already at capacity) — policies must have verified admission
+// first — but deliberately permits booking a link that has gone down since
+// the admission decision: with dynamic failures (Config.Failures) or
+// signaling latency (RunSignaling) a link can fail between admission and
+// occupation, and the defined behaviour is that the booking succeeds and
+// the call is then torn down by the failure machinery rather than crashing
+// the run.
 func (s *State) Occupy(p paths.Path) {
 	for _, id := range p.Links {
-		if s.Free(id) < 1 {
-			panic(fmt.Errorf("sim: occupying full or down link %d", id))
+		if s.occ[id] >= s.links[id].Capacity {
+			panic(fmt.Errorf("sim: overbooking link %d", id))
 		}
 		s.occ[id]++
 	}
 }
 
-// Release frees one call from every link of the path.
+// Release frees one call from every link of the path. Calls torn down by a
+// link failure are released exactly once, by the failure machinery at the
+// failure epoch (their scheduled departure is cancelled), so Release never
+// observes a failure-torn call twice; releasing a down link is legal and
+// keeps its occupancy accounting consistent for the eventual repair.
 func (s *State) Release(p paths.Path) {
 	for _, id := range p.Links {
 		if s.occ[id] <= 0 {
@@ -118,10 +161,12 @@ func (s *State) Release(p paths.Path) {
 }
 
 // OccupyLink and ReleaseLink book/free a single link; the two-phase
-// signaling runner uses them for hop-by-hop booking.
+// signaling runner uses them for hop-by-hop booking. Like Occupy, only
+// overbooking panics: a link that failed after admission may still be
+// booked.
 func (s *State) OccupyLink(id graph.LinkID) {
-	if s.Free(id) < 1 {
-		panic(fmt.Errorf("sim: occupying full or down link %d", id))
+	if s.occ[id] >= s.links[id].Capacity {
+		panic(fmt.Errorf("sim: overbooking link %d", id))
 	}
 	s.occ[id]++
 }

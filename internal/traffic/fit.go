@@ -57,12 +57,22 @@ func FitLinkLoads(g *graph.Graph, pr *PrimaryRouting, targets []float64, opts Fi
 		}
 	}
 
-	// Index pairs by the links their primary path uses.
+	// Index pairs by the links their primary path uses, in (origin, dest)
+	// order — never map order: the per-link rescale sums floats over these
+	// lists, and a process-dependent order would make the fitted matrix
+	// differ in its low bits from run to run.
 	type pairKey = [2]graph.NodeID
 	pairsByLink := make([][]pairKey, g.NumLinks())
-	for pair, p := range pr.route {
-		for _, id := range p.Links {
-			pairsByLink[id] = append(pairsByLink[id], pair)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pair := pairKey{graph.NodeID(i), graph.NodeID(j)}
+			p, ok := pr.route[pair]
+			if !ok {
+				continue
+			}
+			for _, id := range p.Links {
+				pairsByLink[id] = append(pairsByLink[id], pair)
+			}
 		}
 	}
 	for id, target := range targets {

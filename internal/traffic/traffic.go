@@ -141,13 +141,22 @@ func (pr *PrimaryRouting) Pairs() int { return len(pr.route) }
 // traverses link k. The result is indexed by LinkID.
 func LinkLoads(g *graph.Graph, m *Matrix, pr *PrimaryRouting) []float64 {
 	loads := make([]float64, g.NumLinks())
-	for pair, p := range pr.route {
-		d := m.Demand(pair[0], pair[1])
-		if d == 0 {
-			continue
-		}
-		for _, id := range p.Links {
-			loads[id] += d
+	// Iterate pairs in (origin, dest) order, never map order: the per-link
+	// float sums must accumulate in a fixed order to be bit-identical from
+	// process to process.
+	for i := graph.NodeID(0); int(i) < pr.n; i++ {
+		for j := graph.NodeID(0); int(j) < pr.n; j++ {
+			p, ok := pr.route[[2]graph.NodeID{i, j}]
+			if !ok {
+				continue
+			}
+			d := m.Demand(i, j)
+			if d == 0 {
+				continue
+			}
+			for _, id := range p.Links {
+				loads[id] += d
+			}
 		}
 	}
 	return loads
