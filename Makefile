@@ -39,7 +39,7 @@ bench:
 
 # Observability overhead guard (see BENCH_obs.json for recorded numbers).
 bench-obs:
-	$(GO) test -run '^$$' -bench 'BenchmarkRun(Bare|Instrumented)$$' -benchtime 1s -count 6 .
+	$(GO) test -run '^$$' -bench 'BenchmarkRun(Bare|Instrumented|Timeseries)$$' -benchtime 1s -count 6 .
 
 # Short fuzz pass over the Erlang-B / Equation-15 invariants (CI smoke; the
 # checked-in corpora under internal/erlang/testdata/fuzz always run in

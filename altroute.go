@@ -36,6 +36,7 @@ package altroute
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/bound"
 	"repro/internal/core"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/netmodel"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/optimize"
 	"repro/internal/paths"
 	"repro/internal/policy"
@@ -146,6 +148,50 @@ func ReadEventsJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
 // instrumented run, the totals reproduce the corresponding RunResult counters
 // (and Blocking) exactly.
 func AggregateEvents(events []Event) []RunTotals { return obs.Aggregate(events) }
+
+// Streaming time-series analytics (see internal/obs/timeseries). A
+// TimeSeries is itself an EventSink: attach it (alone or via MultiSink) to
+// fold the live event stream into fixed-width windows without perturbing the
+// run, or fold a recorded stream offline with FoldEventsTimeSeries.
+type (
+	// TimeSeries folds a typed event stream into windowed per-run series
+	// with optional regime-shift detection.
+	TimeSeries = timeseries.Folder
+	// TimeSeriesOptions parameterizes a TimeSeries (window width, ring
+	// capacity, detector thresholds, shift sink and callbacks).
+	TimeSeriesOptions = timeseries.Options
+	// TimeWindow is one closed (or trailing partial) window of counters and
+	// per-link utilizations.
+	TimeWindow = timeseries.Window
+	// TimeSeriesRun is one run's windowed series, shifts and identity.
+	TimeSeriesRun = timeseries.RunSeries
+	// RegimeDetectorConfig sets the two-level hysteresis thresholds and
+	// dwell count of the regime-shift detector.
+	RegimeDetectorConfig = timeseries.DetectorConfig
+	// RegimeShift is one confirmed transition of the windowed blocking
+	// regime.
+	RegimeShift = timeseries.RegimeShift
+	// Regime labels the blocking regime (unknown, low, high).
+	Regime = timeseries.Regime
+)
+
+// NewTimeSeries returns a streaming time-series folder; attach it as an
+// EventSink (RunConfig.Sink, possibly via MultiSink).
+func NewTimeSeries(opt TimeSeriesOptions) (*TimeSeries, error) { return timeseries.New(opt) }
+
+// FoldEventsTimeSeries folds a recorded event stream into per-run windowed
+// series offline, one RunSeries per run marker in the stream.
+func FoldEventsTimeSeries(events []Event, opt TimeSeriesOptions) ([]TimeSeriesRun, error) {
+	return timeseries.FoldEvents(events, opt)
+}
+
+// MetricsHandler returns an http.Handler serving the registry's counters,
+// histograms and solver traces — plus any extra collectors, such as a
+// *TimeSeries — in Prometheus text exposition format (version 0.0.4, no
+// third-party dependencies).
+func MetricsHandler(reg *MetricsRegistry, extra ...obs.PromCollector) http.Handler {
+	return obs.PromHandler(reg, extra...)
+}
 
 // Topologies.
 

@@ -424,6 +424,23 @@ func BenchmarkRunBare(b *testing.B) { benchObsRun(b, nil) }
 // construction and dispatch at every site.
 func BenchmarkRunInstrumented(b *testing.B) { benchObsRun(b, noopSink{}) }
 
+// BenchmarkRunTimeseries attaches a live streaming time-series folder
+// (window width 5, ring of 64 windows, regime detector on), the heaviest
+// first-party consumer: every event folds lock-free into windowed counters,
+// with a mutex taken only at window and run boundaries. Its marginal cost
+// over the no-op sink is the <2% budget BENCH_obs.json records.
+func BenchmarkRunTimeseries(b *testing.B) {
+	series, err := altroute.NewTimeSeries(altroute.TimeSeriesOptions{
+		Width:    5,
+		Capacity: 64,
+		Detector: &altroute.RegimeDetectorConfig{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchObsRun(b, series)
+}
+
 // --- Ablation benches for the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationProtectionLevel compares blocking across uniform

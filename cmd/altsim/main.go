@@ -55,8 +55,11 @@
 //
 // Observability flags (any experiment): -events stream.jsonl writes the full
 // simulation event stream as JSONL; -metrics out.json writes a counters-and-
-// histograms snapshot on exit; -pprof addr serves net/http/pprof and expvar;
-// -progress 2s prints a progress line to stderr. See internal/obs.
+// histograms snapshot on exit; -pprof addr serves net/http/pprof, expvar and
+// a Prometheus-format /metrics endpoint; -progress 2s prints a progress line
+// to stderr (cumulative counters, events/sec, latest windowed blocking);
+// -window T sets the width of the streamed time-series windows (default 5,
+// 0 disables). See internal/obs and internal/obs/timeseries.
 package main
 
 import (
@@ -388,7 +391,8 @@ experiments: fig2 quad table1 nsfnet h6 failures skew minloss ottkrishnan
              export-scenario dot verify report bound all
 flags: -seeds N -warmup T -horizon T -loads a,b,c -H n -csv file -parallel N
        -rates a,b,c -mtbf T -mttr T -failures plan.json -failover drop|reroute
-       -events stream.jsonl -metrics out.json -pprof addr -progress 2s`)
+       -events stream.jsonl -metrics out.json -pprof addr -progress 2s
+       -window T`)
 }
 
 // failureOpts carries the CLI's dynamic-failure settings into custom runs:
@@ -494,6 +498,7 @@ func runCustom(path string, h int, fo failureOpts, p experiments.SimParams) {
 				Graph: g, Policy: pol, Source: src, Warmup: p.Warmup,
 				Failures: plan, Failover: fo.mode,
 				Sink: p.Sink, OccupancyEvents: p.OccupancyEvents,
+				WindowLength: p.WindowLength,
 			})
 			if err != nil {
 				fatal(err)

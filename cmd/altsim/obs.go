@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 )
 
 // obsOptions carries the observability flag values shared by every
@@ -19,22 +21,66 @@ import (
 type obsOptions struct {
 	events   string        // JSONL event-stream destination
 	metrics  string        // metrics-snapshot destination (JSON)
-	pprof    string        // pprof/expvar listen address
+	pprof    string        // pprof/expvar/metrics listen address
 	progress time.Duration // stderr progress interval (0 = off)
+	window   float64       // time-series window width (0 = off)
 }
 
 func registerObsFlags(fs *flag.FlagSet) *obsOptions {
 	var o obsOptions
 	fs.StringVar(&o.events, "events", "", "write the simulation event stream as JSONL to this file")
 	fs.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot as JSON to this file on exit")
-	fs.StringVar(&o.pprof, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	fs.StringVar(&o.pprof, "pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
 	fs.DurationVar(&o.progress, "progress", 0, "print a progress line to stderr at this interval (e.g. 2s)")
+	fs.Float64Var(&o.window, "window", 5, "windowed time-series width in simulated time units (0 disables the series)")
 	return &o
 }
 
 // enabled reports whether any observability flag was set.
 func (o *obsOptions) enabled() bool {
 	return o.events != "" || o.metrics != "" || o.pprof != "" || o.progress > 0
+}
+
+// livePub owns the process-wide expvar and /metrics registrations, which
+// panic on duplicate names. The handlers are registered exactly once and
+// read the current registry/series through the mutex, so obs setup can run
+// any number of times in one process (tests, multi-run invocations) — each
+// setup just repoints the live sources.
+var livePub struct {
+	once   sync.Once
+	mu     sync.Mutex
+	reg    *obs.Registry
+	series *timeseries.Folder
+}
+
+// publishLive repoints the expvar and /metrics endpoints at the given
+// registry and series (series may be nil), registering the handlers on
+// first use.
+func publishLive(reg *obs.Registry, series *timeseries.Folder) {
+	livePub.mu.Lock()
+	livePub.reg, livePub.series = reg, series
+	livePub.mu.Unlock()
+	livePub.once.Do(func() {
+		expvar.Publish("altsim", expvar.Func(func() any {
+			livePub.mu.Lock()
+			reg := livePub.reg
+			livePub.mu.Unlock()
+			if reg == nil {
+				return nil
+			}
+			return reg.Snapshot()
+		}))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			livePub.mu.Lock()
+			reg, series := livePub.reg, livePub.series
+			livePub.mu.Unlock()
+			var extra []obs.PromCollector
+			if series != nil {
+				extra = append(extra, series)
+			}
+			obs.PromHandler(reg, extra...).ServeHTTP(w, r)
+		})
+	})
 }
 
 // setup wires the observability flags into p and returns a finish function
@@ -66,19 +112,43 @@ func (o *obsOptions) setup(p *experiments.SimParams) func() {
 		// dominate its volume.
 		p.OccupancyEvents = true
 	}
+
+	// The windowed time-series folder feeds -progress and /metrics and, when
+	// an event stream is being written, folds confirmed regime shifts back
+	// into it as typed regime-shift records. The simulator's own window
+	// stats use the same width.
+	var series *timeseries.Folder
+	if o.window > 0 {
+		p.WindowLength = o.window
+		var shiftSink obs.Sink
+		if jsonl != nil {
+			shiftSink = jsonl
+		}
+		f, err := timeseries.New(timeseries.Options{
+			Width:    o.window,
+			Capacity: 256,
+			Detector: &timeseries.DetectorConfig{},
+			Sink:     shiftSink,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		series = f
+		sinks = append(sinks, series)
+	}
 	p.Sink = obs.Multi(sinks...)
 
 	if o.pprof != "" {
 		// expvar and net/http/pprof self-register on DefaultServeMux;
-		// publishing the registry snapshot makes /debug/vars carry the live
-		// simulation counters.
-		expvar.Publish("altsim", expvar.Func(func() any { return reg.Snapshot() }))
+		// publishLive adds the live snapshot to /debug/vars and the
+		// Prometheus exposition to /metrics, idempotently.
+		publishLive(reg, series)
 		go func() {
 			if err := http.ListenAndServe(o.pprof, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "altsim: pprof server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "altsim: pprof/expvar on http://%s/debug/pprof\n", o.pprof)
+		fmt.Fprintf(os.Stderr, "altsim: pprof/expvar on http://%s/debug/pprof, metrics on /metrics\n", o.pprof)
 	}
 
 	stopProgress := make(chan struct{})
@@ -89,16 +159,28 @@ func (o *obsOptions) setup(p *experiments.SimParams) func() {
 			defer progressDone.Done()
 			tick := time.NewTicker(o.progress)
 			defer tick.Stop()
+			lastEvents := int64(0)
+			lastAt := time.Now()
 			for {
 				select {
 				case <-stopProgress:
 					return
 				case <-tick.C:
 					s := reg.Snapshot()
-					line := fmt.Sprintf("altsim: %d runs, %d events, %d offered, %d blocked",
-						s.Runs, s.Events, s.Offered, s.Blocked)
+					now := time.Now()
+					rate := float64(s.Events-lastEvents) / now.Sub(lastAt).Seconds()
+					lastEvents, lastAt = s.Events, now
+					line := fmt.Sprintf("altsim: %d runs, %d events (%.0f/s), %d offered, %d blocked",
+						s.Runs, s.Events, rate, s.Offered, s.Blocked)
 					if s.Blocking != nil {
 						line += fmt.Sprintf(" (B=%.5f)", *s.Blocking)
+					}
+					if series != nil {
+						if run, w, ok := series.Latest(); ok {
+							if b := w.Blocking(); !math.IsNaN(b) {
+								line += fmt.Sprintf(", window %d/run %d B=%.5f", w.Index, run, b)
+							}
+						}
 					}
 					fmt.Fprintln(os.Stderr, line)
 				}

@@ -2,12 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 )
 
 // TestObsSetupEndToEnd drives the -events/-metrics plumbing the way main
@@ -94,5 +100,110 @@ func TestObsSetupDisabled(t *testing.T) {
 	finish()
 	if p.Sink != nil || p.Metrics != nil || p.OccupancyEvents {
 		t.Fatal("disabled setup must leave SimParams untouched")
+	}
+}
+
+// TestObsSetupWindowed runs setup with the time-series window enabled and
+// checks that the simulator's window stats are wired in and the persisted
+// stream folds into a dense windowed series.
+func TestObsSetupWindowed(t *testing.T) {
+	dir := t.TempDir()
+	o := obsOptions{
+		events: filepath.Join(dir, "events.jsonl"),
+		window: 5,
+	}
+	p := experiments.SimParams{Seeds: 1, Warmup: 5, Horizon: 30}
+	finish := o.setup(&p)
+	if p.WindowLength != 5 {
+		t.Fatalf("WindowLength = %v, want 5", p.WindowLength)
+	}
+	if _, err := experiments.Quadrangle([]float64{90}, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	finish()
+
+	f, err := os.Open(o.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawWindowClosed := false
+	for _, e := range events {
+		if e.Kind == obs.KindWindowClosed {
+			sawWindowClosed = true
+			break
+		}
+	}
+	if !sawWindowClosed {
+		t.Error("no window-closed events in stream despite -window")
+	}
+	series, err := timeseries.FoldEvents(events, timeseries.Options{Width: o.window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 {
+		t.Fatal("stream folded into no runs")
+	}
+	for _, r := range series {
+		if len(r.Windows) == 0 {
+			t.Fatalf("run %d folded into no windows", r.Run)
+		}
+	}
+}
+
+// TestPublishLiveIdempotent is the duplicate-registration regression test:
+// expvar.Publish and http.HandleFunc both panic on a second registration, so
+// publishLive must register once and repoint thereafter. It also scrapes the
+// mounted /metrics endpoint and validates the exposition.
+func TestPublishLiveIdempotent(t *testing.T) {
+	regA := obs.NewRegistry()
+	obs.Emit(regA, obs.Event{Kind: obs.KindRunStart, Policy: "a", Seed: 1})
+	obs.Emit(regA, obs.Event{Kind: obs.KindCallOffered, Time: 1})
+	obs.Emit(regA, obs.Event{Kind: obs.KindRunEnd, Time: 2})
+
+	series, err := timeseries.New(timeseries.Options{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishLive(regA, series)
+	// A second setup in the same process must not panic and must repoint the
+	// endpoints at the new registry.
+	regB := obs.NewRegistry()
+	for i := 0; i < 3; i++ {
+		obs.Emit(regB, obs.Event{Kind: obs.KindCallOffered, Time: float64(i), Measured: true})
+	}
+	publishLive(regB, nil)
+
+	if expvar.Get("altsim") == nil {
+		t.Fatal("expvar altsim not published")
+	}
+
+	srv := httptest.NewServer(http.DefaultServeMux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); !strings.Contains(got, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", got)
+	}
+	if err := obs.ValidateProm(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	// The scrape must reflect the most recent publishLive target (regB).
+	if !strings.Contains(string(body), "altroute_calls_offered_total 3") {
+		t.Fatalf("scrape does not reflect repointed registry:\n%s", body)
 	}
 }

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/obs/timeseries"
+)
+
+// runDiff implements `alttrace diff`: raw first-divergence reporting, then
+// a window-by-window comparison of the two folded series.
+func runDiff(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("alttrace diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	window := fs.Float64("window", 5, "series window width (simulated time units)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "alttrace diff: want exactly two trace files")
+		return 2
+	}
+	fileA, fileB := fs.Arg(0), fs.Arg(1)
+	rawA, err := os.ReadFile(fileA)
+	if err != nil {
+		fmt.Fprintln(stderr, "alttrace:", err)
+		return 2
+	}
+	rawB, err := os.ReadFile(fileB)
+	if err != nil {
+		fmt.Fprintln(stderr, "alttrace:", err)
+		return 2
+	}
+
+	if bytes.Equal(rawA, rawB) {
+		fmt.Fprintf(stdout, "traces identical (%d bytes, %d lines)\n", len(rawA), countLines(rawA))
+		return 0
+	}
+
+	line, a, b := firstDivergence(rawA, rawB)
+	fmt.Fprintf(stdout, "traces differ; first divergence at line %d:\n", line)
+	fmt.Fprintf(stdout, "  %s: %s\n", fileA, a)
+	fmt.Fprintf(stdout, "  %s: %s\n", fileB, b)
+
+	resA, err := foldTrace(bytes.NewReader(rawA), fileA, *window)
+	if err != nil {
+		fmt.Fprintln(stderr, "alttrace:", err)
+		return 2
+	}
+	resB, err := foldTrace(bytes.NewReader(rawB), fileB, *window)
+	if err != nil {
+		fmt.Fprintln(stderr, "alttrace:", err)
+		return 2
+	}
+	diffSeries(stdout, resA, resB)
+	return 1
+}
+
+// countLines counts newline-terminated lines.
+func countLines(b []byte) int {
+	return bytes.Count(b, []byte("\n"))
+}
+
+// firstDivergence returns the 1-based line number and both lines at the
+// first point the raw streams disagree. A stream that ends early reports
+// "<end of file>" for its side.
+func firstDivergence(rawA, rawB []byte) (int, string, string) {
+	sa := bufio.NewScanner(bytes.NewReader(rawA))
+	sb := bufio.NewScanner(bytes.NewReader(rawB))
+	sa.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sb.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for {
+		line++
+		moreA, moreB := sa.Scan(), sb.Scan()
+		switch {
+		case moreA && moreB:
+			if sa.Text() != sb.Text() {
+				return line, sa.Text(), sb.Text()
+			}
+		case moreA:
+			return line, sa.Text(), "<end of file>"
+		case moreB:
+			return line, "<end of file>", sb.Text()
+		default:
+			// Byte-unequal but line-equal: trailing bytes differ (e.g. a
+			// missing final newline).
+			return line, "<end of file>", "<end of file>"
+		}
+	}
+}
+
+// diffSeries compares the folded window series run by run and reports the
+// first differing window of each run plus totals.
+func diffSeries(w io.Writer, a, b foldResult) {
+	if len(a.series) != len(b.series) {
+		fmt.Fprintf(w, "run counts differ: %s has %d, %s has %d\n",
+			a.file, len(a.series), b.file, len(b.series))
+	}
+	n := len(a.series)
+	if len(b.series) < n {
+		n = len(b.series)
+	}
+	for i := 0; i < n; i++ {
+		ra, rb := a.series[i], b.series[i]
+		if ra.Policy != rb.Policy || ra.Seed != rb.Seed {
+			fmt.Fprintf(w, "run %d identity differs: %s=%s/seed=%d, %s=%s/seed=%d\n",
+				i, a.file, ra.Policy, ra.Seed, b.file, rb.Policy, rb.Seed)
+			continue
+		}
+		diffRun(w, i, ra, rb)
+	}
+}
+
+// diffRun reports window-level divergence inside one run.
+func diffRun(w io.Writer, run int, a, b timeseries.RunSeries) {
+	if len(a.Windows) != len(b.Windows) {
+		fmt.Fprintf(w, "run %d (%s seed %d): window counts differ (%d vs %d)\n",
+			run, a.Policy, a.Seed, len(a.Windows), len(b.Windows))
+	}
+	n := len(a.Windows)
+	if len(b.Windows) < n {
+		n = len(b.Windows)
+	}
+	differing := 0
+	first := -1
+	for k := 0; k < n; k++ {
+		if !windowsEqual(a.Windows[k], b.Windows[k]) {
+			if first < 0 {
+				first = k
+			}
+			differing++
+		}
+	}
+	if differing == 0 {
+		if len(a.Windows) == len(b.Windows) {
+			fmt.Fprintf(w, "run %d (%s seed %d): %d windows identical\n",
+				run, a.Policy, a.Seed, len(a.Windows))
+		}
+		return
+	}
+	wa, wb := a.Windows[first], b.Windows[first]
+	fmt.Fprintf(w, "run %d (%s seed %d): %d of %d windows differ; first is window %d [%s,%s):\n",
+		run, a.Policy, a.Seed, differing, n, wa.Index, formatFloat(wa.Start), formatFloat(wa.End))
+	fmt.Fprintf(w, "  a: offered=%d blocked=%d accepted=%d alternate=%d departed=%d events=%d\n",
+		wa.Offered, wa.Blocked, wa.Accepted, wa.AlternateAccepted, wa.Departed, wa.Events)
+	fmt.Fprintf(w, "  b: offered=%d blocked=%d accepted=%d alternate=%d departed=%d events=%d\n",
+		wb.Offered, wb.Blocked, wb.Accepted, wb.AlternateAccepted, wb.Departed, wb.Events)
+}
+
+// windowsEqual compares two windows exactly, floats bit for bit.
+func windowsEqual(a, b timeseries.Window) bool {
+	if a.Index != b.Index ||
+		math.Float64bits(a.Start) != math.Float64bits(b.Start) ||
+		math.Float64bits(a.End) != math.Float64bits(b.End) ||
+		a.Offered != b.Offered || a.Blocked != b.Blocked ||
+		a.Accepted != b.Accepted || a.PrimaryAccepted != b.PrimaryAccepted ||
+		a.AlternateAccepted != b.AlternateAccepted || a.CarriedHops != b.CarriedHops ||
+		a.Departed != b.Departed || a.LostToFailure != b.LostToFailure ||
+		a.FailureRerouted != b.FailureRerouted || a.LinkDowns != b.LinkDowns ||
+		a.LinkUps != b.LinkUps || a.Events != b.Events || a.Partial != b.Partial ||
+		len(a.LinkUtil) != len(b.LinkUtil) {
+		return false
+	}
+	for i := range a.LinkUtil {
+		if math.Float64bits(a.LinkUtil[i]) != math.Float64bits(b.LinkUtil[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
+)
+
+// foldResult is one trace file folded both ways: lossless per-run totals
+// (obs.Aggregate — the sim.Result reconstruction) and the windowed series.
+type foldResult struct {
+	file   string
+	totals []obs.RunTotals
+	series []timeseries.RunSeries
+}
+
+// foldTrace reads one JSONL event stream and folds it.
+func foldTrace(r io.Reader, file string, width float64) (foldResult, error) {
+	events, err := obs.ReadJSONL(r)
+	if err != nil {
+		return foldResult{}, fmt.Errorf("%s: %w", file, err)
+	}
+	series, err := timeseries.FoldEvents(events, timeseries.Options{Width: width})
+	if err != nil {
+		return foldResult{}, err
+	}
+	return foldResult{file: file, totals: obs.Aggregate(events), series: series}, nil
+}
+
+// runFold implements `alttrace fold`.
+func runFold(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("alttrace fold", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	window := fs.Float64("window", 5, "series window width (simulated time units)")
+	csvPath := fs.String("csv", "", "write per-window series rows as CSV to this file")
+	metricsPath := fs.String("metrics", "", "cross-check summed totals against this registry snapshot JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "alttrace fold: no trace files given")
+		return 2
+	}
+
+	var results []foldResult
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "alttrace:", err)
+			return 2
+		}
+		res, err := foldTrace(f, file, *window)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "alttrace:", err)
+			return 2
+		}
+		results = append(results, res)
+		writeSummary(stdout, res)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "alttrace:", err)
+			return 2
+		}
+		err = writeSeriesCSV(f, results)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "alttrace:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "alttrace: wrote %s\n", *csvPath)
+	}
+
+	if *metricsPath != "" {
+		f, err := os.Open(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "alttrace:", err)
+			return 2
+		}
+		var snap obs.Snapshot
+		err = json.NewDecoder(f).Decode(&snap)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "alttrace: %s: %v\n", *metricsPath, err)
+			return 2
+		}
+		mismatches := compareSnapshot(snap, results)
+		if len(mismatches) > 0 {
+			for _, m := range mismatches {
+				fmt.Fprintf(stderr, "alttrace: metrics mismatch: %s\n", m)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "metrics cross-check: %s agrees with the folded totals\n", *metricsPath)
+	}
+	return 0
+}
+
+// writeSummary prints one line per run with the re-aggregated counters.
+func writeSummary(w io.Writer, res foldResult) {
+	for i, t := range res.totals {
+		windows := 0
+		if i < len(res.series) {
+			windows = len(res.series[i].Windows)
+		}
+		fmt.Fprintf(w,
+			"%s run %d: policy=%s seed=%d offered=%d accepted=%d blocked=%d blocking=%s primary=%d alternate=%d hops=%d departed=%d",
+			res.file, i, t.Policy, t.Seed, t.Offered, t.Accepted, t.Blocked,
+			formatFloat(t.Blocking()), t.PrimaryAccepted, t.AlternateAccepted,
+			t.CarriedHopCount, t.Departed)
+		if t.LostToFailure > 0 || t.FailureRerouted > 0 || t.LinkDowns > 0 || t.LinkUps > 0 {
+			fmt.Fprintf(w, " lost-failure=%d rerouted=%d link-downs=%d link-ups=%d",
+				t.LostToFailure, t.FailureRerouted, t.LinkDowns, t.LinkUps)
+		}
+		fmt.Fprintf(w, " windows=%d\n", windows)
+	}
+}
+
+// csvHeader is the windowed-series schema written by fold -csv.
+var csvHeader = []string{
+	"file", "run", "policy", "seed",
+	"window", "start", "end", "offered", "blocked", "blocking",
+	"accepted", "primary", "alternate", "alt_share", "carried_hops",
+	"departed", "lost_failure", "rerouted", "link_downs", "link_ups",
+	"events", "partial",
+}
+
+// writeSeriesCSV writes every window of every run of every trace as one row.
+func writeSeriesCSV(w io.Writer, results []foldResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, r := range res.series {
+			for _, win := range r.Windows {
+				row := []string{
+					res.file,
+					strconv.Itoa(r.Run),
+					r.Policy,
+					strconv.FormatInt(r.Seed, 10),
+					strconv.Itoa(win.Index),
+					formatFloat(win.Start),
+					formatFloat(win.End),
+					strconv.FormatInt(win.Offered, 10),
+					strconv.FormatInt(win.Blocked, 10),
+					formatFloat(win.Blocking()),
+					strconv.FormatInt(win.Accepted, 10),
+					strconv.FormatInt(win.PrimaryAccepted, 10),
+					strconv.FormatInt(win.AlternateAccepted, 10),
+					formatFloat(win.AlternateShare()),
+					strconv.FormatInt(win.CarriedHops, 10),
+					strconv.FormatInt(win.Departed, 10),
+					strconv.FormatInt(win.LostToFailure, 10),
+					strconv.FormatInt(win.FailureRerouted, 10),
+					strconv.FormatInt(win.LinkDowns, 10),
+					strconv.FormatInt(win.LinkUps, 10),
+					strconv.FormatInt(win.Events, 10),
+					strconv.FormatBool(win.Partial),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// compareSnapshot checks a registry snapshot against the summed folded
+// totals field by field and returns human-readable mismatch descriptions
+// (empty when they agree exactly). The snapshot's carried-hops histogram is
+// compared by its weighted sum, which equals the summed CarriedHopCount as
+// long as no path clamps into the last bucket.
+func compareSnapshot(snap obs.Snapshot, results []foldResult) []string {
+	var sum obs.RunTotals
+	runs := 0
+	for _, res := range results {
+		for _, t := range res.totals {
+			runs++
+			sum.Offered += t.Offered
+			sum.Accepted += t.Accepted
+			sum.Blocked += t.Blocked
+			sum.PrimaryAccepted += t.PrimaryAccepted
+			sum.AlternateAccepted += t.AlternateAccepted
+			sum.CarriedHopCount += t.CarriedHopCount
+			sum.Departed += t.Departed
+			sum.LostToFailure += t.LostToFailure
+			sum.FailureRerouted += t.FailureRerouted
+			sum.LinkDowns += t.LinkDowns
+			sum.LinkUps += t.LinkUps
+		}
+	}
+	var hopSum int64
+	for hops, count := range snap.CarriedHops {
+		hopSum += int64(hops) * count
+	}
+
+	var out []string
+	mismatch := func(field string, got, want int64) {
+		if got != want {
+			out = append(out, fmt.Sprintf("%s: snapshot %d, folded %d", field, got, want))
+		}
+	}
+	mismatch("runs", snap.Runs, int64(runs))
+	mismatch("offered", snap.Offered, sum.Offered)
+	mismatch("accepted", snap.Accepted, sum.Accepted)
+	mismatch("blocked", snap.Blocked, sum.Blocked)
+	mismatch("primary_accepted", snap.PrimaryAccepted, sum.PrimaryAccepted)
+	mismatch("alternate_accepted", snap.AlternateAccepted, sum.AlternateAccepted)
+	mismatch("carried_hops", hopSum, sum.CarriedHopCount)
+	mismatch("departed", snap.Departed, sum.Departed)
+	mismatch("lost_to_failure", snap.LostToFailure, sum.LostToFailure)
+	mismatch("failure_rerouted", snap.FailureRerouted, sum.FailureRerouted)
+	mismatch("link_downs", snap.LinkDowns, int64(sum.LinkDowns))
+	mismatch("link_ups", snap.LinkUps, int64(sum.LinkUps))
+	return out
+}
+
+// formatFloat renders a float in shortest round-trip form (NaN for
+// undefined ratios), matching the JSONL stream's own number formatting.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,59 @@
+// Command alttrace is the trace-analytics companion to altsim: it folds the
+// JSONL event streams written by `altsim -events` into per-run summaries and
+// fixed-width windowed time series, and diffs two traces when the golden
+// bit-identity contract breaks.
+//
+// Usage:
+//
+//	alttrace fold    [-window W] [-csv out.csv] [-metrics snapshot.json] trace.jsonl...
+//	alttrace diff    [-window W] a.jsonl b.jsonl
+//	alttrace regimes [-window W] [-low B] [-high B] [-dwell N] trace.jsonl...
+//
+// fold prints one summary line per run, re-aggregated losslessly from the
+// event stream (obs.Aggregate), so the counters equal the originating run's
+// sim.Result exactly; -csv additionally writes every windowed series row,
+// and -metrics cross-checks the summed totals against a registry snapshot
+// written by `altsim -metrics`, exiting nonzero on any mismatch.
+//
+// diff reports the first raw-line divergence between two traces (line
+// number and both lines), then folds both and reports the first differing
+// window of each run — turning "the golden test failed" into "seed 3
+// diverged in window 17". Exit status: 0 identical, 1 different, 2 error.
+//
+// regimes runs the two-level hysteresis detector over each trace's windowed
+// blocking and prints the confirmed regime shifts (see
+// internal/obs/timeseries).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var code int
+	switch os.Args[1] {
+	case "fold":
+		code = runFold(os.Stdout, os.Stderr, os.Args[2:])
+	case "diff":
+		code = runDiff(os.Stdout, os.Stderr, os.Args[2:])
+	case "regimes":
+		code = runRegimes(os.Stdout, os.Stderr, os.Args[2:])
+	default:
+		usage()
+		code = 2
+	}
+	os.Exit(code)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: alttrace <command> [flags] trace.jsonl...
+commands:
+  fold     [-window W] [-csv out.csv] [-metrics snapshot.json] trace.jsonl...
+  diff     [-window W] a.jsonl b.jsonl
+  regimes  [-window W] [-low B] [-high B] [-dwell N] trace.jsonl...`)
+}

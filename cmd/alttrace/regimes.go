@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
+)
+
+// runRegimes implements `alttrace regimes`: it re-derives the windowed
+// blocking series of each trace and prints the regime shifts confirmed by
+// the two-level hysteresis detector.
+func runRegimes(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("alttrace regimes", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	window := fs.Float64("window", 5, "series window width (simulated time units)")
+	low := fs.Float64("low", timeseries.DefaultLowThreshold, "low-regime blocking ceiling")
+	high := fs.Float64("high", timeseries.DefaultHighThreshold, "high-regime blocking floor")
+	dwell := fs.Int("dwell", timeseries.DefaultDwell, "consecutive windows confirming a shift")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "alttrace regimes: no trace files given")
+		return 2
+	}
+	cfg := timeseries.DetectorConfig{Low: *low, High: *high, Dwell: *dwell}
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "alttrace:", err)
+			return 2
+		}
+		events, err := obs.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "alttrace: %s: %v\n", file, err)
+			return 2
+		}
+		series, err := timeseries.FoldEvents(events, timeseries.Options{Width: *window, Detector: &cfg})
+		if err != nil {
+			fmt.Fprintln(stderr, "alttrace:", err)
+			return 2
+		}
+		for _, r := range series {
+			fmt.Fprintf(stdout, "%s run %d: policy=%s seed=%d windows=%d shifts=%d\n",
+				file, r.Run, r.Policy, r.Seed, len(r.Windows), len(r.Shifts))
+			for _, s := range r.Shifts {
+				fmt.Fprintf(stdout, "  window %d t=%s: %s -> %s (blocking %s)\n",
+					s.Window, formatFloat(s.Time), s.From, s.To, formatFloat(s.Blocking))
+			}
+		}
+	}
+	return 0
+}

@@ -183,12 +183,13 @@ func All() []*Analyzer {
 // deterministicPackages lists the import paths whose computations feed
 // results and therefore fall under the determinism contract (DESIGN.md §9).
 var deterministicPackages = map[string]bool{
-	"repro/internal/sim":         true,
-	"repro/internal/erlang":      true,
-	"repro/internal/core":        true,
-	"repro/internal/policy":      true,
-	"repro/internal/experiments": true,
-	"repro/internal/obs":         true,
+	"repro/internal/sim":            true,
+	"repro/internal/erlang":         true,
+	"repro/internal/core":           true,
+	"repro/internal/policy":         true,
+	"repro/internal/experiments":    true,
+	"repro/internal/obs":            true,
+	"repro/internal/obs/timeseries": true,
 }
 
 // fixturePrefix marks the analyzer test fixtures, which opt in to every
@@ -204,9 +205,10 @@ func isDeterministic(pkgPath string) bool {
 // (doc-coverage): the public facade and the numerically load-bearing
 // internals.
 var facadePackages = map[string]bool{
-	"repro":                 true,
-	"repro/internal/erlang": true,
-	"repro/internal/sim":    true,
+	"repro":                         true,
+	"repro/internal/erlang":         true,
+	"repro/internal/sim":            true,
+	"repro/internal/obs/timeseries": true,
 }
 
 // needsDocs reports whether doc-coverage applies to pkgPath.

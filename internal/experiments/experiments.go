@@ -47,6 +47,11 @@ type SimParams struct {
 	Metrics *obs.Registry
 	// OccupancyEvents forwards per-link occupancy samples to Sink.
 	OccupancyEvents bool
+	// WindowLength, when positive, makes every run collect the simulator's
+	// per-window time series (sim.Config.WindowLength): Result.Windows is
+	// populated and window-closed events join the stream. Zero keeps the
+	// historical stream byte-identical.
+	WindowLength float64
 }
 
 func (p SimParams) withDefaults() SimParams {
@@ -164,6 +169,7 @@ func runPoliciesDeferred(g *graph.Graph, m *traffic.Matrix, pols []sim.Policy, p
 			res, err := sim.Run(sim.Config{
 				Graph: g, Policy: pol, Trace: tr, Warmup: p.Warmup,
 				Sink: sink, OccupancyEvents: p.OccupancyEvents,
+				WindowLength: p.WindowLength,
 			})
 			if err != nil {
 				sr.err = fmt.Errorf("experiments: %s seed %d: %w", pol.Name(), seed, err)

@@ -65,6 +65,13 @@ const (
 	// path's length, Alternate whether it is an alternate of the call's
 	// pair (mirrors Result.FailureRerouted).
 	KindCallRerouted
+	// KindRegimeShift records a confirmed change of the windowed-blocking
+	// regime detected by the time-series layer (internal/obs/timeseries):
+	// Window is the closing window that confirmed the shift, Offered and
+	// Blocked its counts, and From/To name the regimes. Never emitted by
+	// the simulator itself — it is derived telemetry folded back into the
+	// stream so regime history rides alongside the raw events.
+	KindRegimeShift
 )
 
 var kindNames = [...]string{
@@ -80,7 +87,14 @@ var kindNames = [...]string{
 	KindLinkUp:          "link-up",
 	KindCallLostFailure: "call-lost-failure",
 	KindCallRerouted:    "call-rerouted",
+	KindRegimeShift:     "regime-shift",
 }
+
+// KindCount is one past the highest declared Kind; Kind values in
+// [1, KindCount) are valid. Exhaustive tests iterate this range so a kind
+// added without a wire name fails loudly instead of serializing as
+// "kind(n)".
+const KindCount = Kind(len(kindNames))
 
 // String returns the kind's wire name (used in JSONL output).
 func (k Kind) String() string {
@@ -142,6 +156,11 @@ type Event struct {
 	// Policy and Seed identify the run (KindRunStart).
 	Policy string `json:"policy,omitempty"`
 	Seed   int64  `json:"seed,omitempty"`
+	// From and To name the regimes of a KindRegimeShift record; empty for
+	// every simulator-emitted kind (omitted from the wire form, so streams
+	// without shifts are byte-identical to pre-telemetry readers' inputs).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
 }
 
 // Sink consumes an event stream. Implementations shared across concurrently

@@ -1,0 +1,415 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the Prometheus text-exposition exporter: a hand-rolled
+// writer (no third-party dependencies) over Registry.Snapshot plus any
+// extra collectors (the time-series layer's live gauges), served by
+// PromHandler as a /metrics endpoint. The format is the classic text
+// exposition format version 0.0.4: `# HELP` / `# TYPE` family headers
+// followed by `name{labels} value` samples. ValidateProm is the matching
+// well-formedness checker used by tests and smoke jobs.
+
+// PromWriter emits Prometheus text exposition format. Write errors latch:
+// the first one is remembered and every later call is a no-op, so callers
+// check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter returns a writer emitting to w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, or nil.
+func (p *PromWriter) Err() error { return p.err }
+
+// Header opens a metric family: one # HELP and one # TYPE line. typ must be
+// a Prometheus metric type (counter, gauge, histogram, summary, untyped).
+func (p *PromWriter) Header(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample line. labels is the pre-rendered label list
+// without braces (e.g. `link="3"`), or "" for an unlabelled sample. Floats
+// use Go's shortest round-trip form, which Prometheus parses exactly; NaN
+// and infinities render as NaN/+Inf/-Inf per the format.
+func (p *PromWriter) Sample(name, labels string, v float64) {
+	if p.err != nil {
+		return
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s%s %s\n", name, labels, formatPromValue(v))
+}
+
+// Int emits one integer-valued sample line (see Sample for labels).
+func (p *PromWriter) Int(name, labels string, v int64) {
+	if p.err != nil {
+		return
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s%s %d\n", name, labels, v)
+}
+
+// Counter emits a complete single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v int64) {
+	p.Header(name, help, "counter")
+	p.Int(name, "", v)
+}
+
+// Gauge emits a complete single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Header(name, help, "gauge")
+	p.Sample(name, "", v)
+}
+
+// IntHistogram emits an IntHist's bucket counts as a cumulative Prometheus
+// histogram: counts[i] is the number of samples with value exactly i, so
+// bucket le="i" accumulates counts[0..i], _sum is Σ i·counts[i], and _count
+// the total. An all-empty histogram still emits the family with a bare
+// +Inf bucket so the series exists from the first scrape.
+func (p *PromWriter) IntHistogram(name, help string, counts []int64) {
+	p.Header(name, help, "histogram")
+	var cum, sum int64
+	for i, c := range counts {
+		cum += c
+		sum += int64(i) * c
+		p.Int(name+"_bucket", `le="`+strconv.Itoa(i)+`"`, cum)
+	}
+	p.Int(name+"_bucket", `le="+Inf"`, cum)
+	p.Int(name+"_sum", "", sum)
+	p.Int(name+"_count", "", cum)
+}
+
+// PromLabel renders one label pair with proper value escaping.
+func PromLabel(name, value string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteString(`"`)
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatPromValue renders a float in the exposition format's value syntax.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the snapshot as Prometheus text exposition: the run and
+// call counters as counters, blocking and throughput as gauges (omitted
+// while undefined — zero offered calls, no recorded span), the carried-hops
+// and drained-per-arrival IntHists as cumulative histograms, per-link
+// occupancy sample counts and sums (mean occupancy = sum/count per link),
+// and per-solver iteration counts from the convergence traces.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	p := NewPromWriter(w)
+	p.Counter("altroute_runs_total", "Simulation runs observed (run-start events).", s.Runs)
+	p.Counter("altroute_events_total", "Typed events folded into the registry.", s.Events)
+	p.Counter("altroute_calls_offered_total", "Measured calls offered.", s.Offered)
+	p.Counter("altroute_calls_accepted_total", "Measured calls accepted.", s.Accepted)
+	p.Counter("altroute_calls_blocked_total", "Measured calls blocked at arrival.", s.Blocked)
+	p.Counter("altroute_calls_primary_total", "Measured calls carried on their primary path.", s.PrimaryAccepted)
+	p.Counter("altroute_calls_alternate_total", "Measured calls carried on an alternate path.", s.AlternateAccepted)
+	p.Counter("altroute_calls_departed_total", "Call teardowns (measured and warm-up).", s.Departed)
+	p.Counter("altroute_calls_lost_failure_total", "In-flight calls torn down by link failures (measured epochs).", s.LostToFailure)
+	p.Counter("altroute_calls_rerouted_total", "In-flight calls rescued onto surviving paths (measured epochs).", s.FailureRerouted)
+	p.Counter("altroute_link_down_total", "Link failure events.", s.LinkDowns)
+	p.Counter("altroute_link_up_total", "Link repair events.", s.LinkUps)
+	if s.Blocking != nil {
+		p.Gauge("altroute_blocking", "Cumulative network blocking probability (blocked/offered).", *s.Blocking)
+	}
+	if s.SpanTotal > 0 {
+		p.Gauge("altroute_span_total", "Simulated time accumulated across completed measurement windows.", s.SpanTotal)
+	}
+	if s.Throughput != nil {
+		p.Gauge("altroute_throughput", "Carried calls per simulated time unit (accepted/span).", *s.Throughput)
+	}
+	p.IntHistogram("altroute_carried_hops", "Path length of carried calls, in hops.", s.CarriedHops)
+	p.IntHistogram("altroute_drained_per_arrival", "Departures processed per admission decision.", s.DrainedPerArrival)
+	if len(s.LinkOccupancy) > 0 {
+		p.Header("altroute_link_occupancy_samples_total", "Occupancy samples per link.", "counter")
+		for link, counts := range s.LinkOccupancy {
+			var n int64
+			for _, c := range counts {
+				n += c
+			}
+			p.Int("altroute_link_occupancy_samples_total", PromLabel("link", strconv.Itoa(link)), n)
+		}
+		p.Header("altroute_link_occupancy_sum", "Sum of sampled occupancies per link (mean = sum/samples).", "counter")
+		for link, counts := range s.LinkOccupancy {
+			var sum int64
+			for occ, c := range counts {
+				sum += int64(occ) * c
+			}
+			p.Int("altroute_link_occupancy_sum", PromLabel("link", strconv.Itoa(link)), sum)
+		}
+	}
+	if len(s.Solvers) > 0 {
+		names := make([]string, 0, len(s.Solvers))
+		for name := range s.Solvers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		p.Header("altroute_solver_iterations", "Recorded iterations per solver convergence trace.", "gauge")
+		for _, name := range names {
+			p.Int("altroute_solver_iterations", PromLabel("solver", name), int64(len(s.Solvers[name])))
+		}
+	}
+	return p.Err()
+}
+
+// PromCollector contributes extra metric families to a PromHandler scrape —
+// the attachment point for live series gauges (internal/obs/timeseries) and
+// any future daemon-side collectors.
+type PromCollector interface {
+	// CollectProm writes the collector's current metrics. Implementations
+	// must emit complete families (Header before samples) and be safe for
+	// concurrent use — scrapes race with event folding.
+	CollectProm(p *PromWriter)
+}
+
+// PromHandler serves the registry snapshot (and any extra collectors) in
+// Prometheus text exposition format — the /metrics endpoint of cmd/altsim's
+// -pprof mux and of the future control-plane daemon. A nil registry serves
+// only the collectors. The response is rendered into a buffer first, so a
+// mid-scrape write error never truncates a family.
+func PromHandler(reg *Registry, extra ...PromCollector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if reg != nil {
+			if err := reg.Snapshot().WriteProm(&buf); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		pw := NewPromWriter(&buf)
+		for _, c := range extra {
+			if c != nil {
+				c.CollectProm(pw)
+			}
+		}
+		if err := pw.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}
+
+// ValidateProm checks that b is well-formed Prometheus text exposition:
+// every sample line parses (metric name, optional label list, float value),
+// every sample belongs to a family declared by a preceding # TYPE line
+// (histogram samples may use the _bucket/_sum/_count suffixes), histogram
+// buckets are cumulative in emission order, and each histogram's +Inf
+// bucket equals its _count. It returns nil for valid input and a
+// line-numbered error otherwise. Exported so exporter tests and CI smoke
+// checks share one checker without external dependencies.
+func ValidateProm(b []byte) error {
+	types := make(map[string]string)
+	type histState struct {
+		last    int64
+		infSeen bool
+		inf     int64
+		count   int64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histState)
+	lineNo := 0
+	for _, line := range strings.Split(string(b), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("prom line %d: malformed comment %q", lineNo, line)
+			}
+			if !validPromName(fields[2]) {
+				return fmt.Errorf("prom line %d: bad metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("prom line %d: TYPE missing type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("prom line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("prom line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("prom line %d: %w", lineNo, err)
+		}
+		base, suffix := name, ""
+		if typ, ok := types[name]; !ok || typ == "histogram" {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				trimmed := strings.TrimSuffix(name, sfx)
+				if trimmed != name && types[trimmed] == "histogram" {
+					base, suffix = trimmed, sfx
+					break
+				}
+			}
+		}
+		typ, declared := types[base]
+		if !declared {
+			return fmt.Errorf("prom line %d: sample %s has no TYPE declaration", lineNo, name)
+		}
+		if typ == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("prom line %d: histogram %s sample lacks _bucket/_sum/_count suffix", lineNo, base)
+			}
+			h := hists[base]
+			if h == nil {
+				h = &histState{}
+				hists[base] = h
+			}
+			switch suffix {
+			case "_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("prom line %d: histogram bucket without le label", lineNo)
+				}
+				iv := int64(value)
+				if !isIntegral(value) || iv < h.last {
+					return fmt.Errorf("prom line %d: non-cumulative bucket %s le=%s (%v after %d)",
+						lineNo, base, le, value, h.last)
+				}
+				h.last = iv
+				if le == "+Inf" {
+					h.infSeen = true
+					h.inf = iv
+				}
+			case "_count":
+				h.count = int64(value)
+				h.hasCnt = true
+			}
+			continue
+		}
+		if typ == "counter" && (value < 0 || !isIntegral(value)) {
+			return fmt.Errorf("prom line %d: counter %s value %v not a non-negative integer", lineNo, name, value)
+		}
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		if !h.infSeen {
+			return fmt.Errorf("prom: histogram %s has no +Inf bucket", name)
+		}
+		if !h.hasCnt || h.inf != h.count {
+			return fmt.Errorf("prom: histogram %s +Inf bucket %d != count %d", name, h.inf, h.count)
+		}
+	}
+	return nil
+}
+
+// parsePromSample splits a sample line into name, raw label list and value.
+func parsePromSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if !validPromName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	// A trailing timestamp is permitted by the format; value is field one.
+	valueField := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valueField = rest[:i]
+	}
+	value, err = strconv.ParseFloat(valueField, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %w", valueField, err)
+	}
+	return name, labels, value, nil
+}
+
+// isIntegral reports whether v is a non-NaN float holding an exact int64
+// value, compared bitwise per the float-identity contract.
+func isIntegral(v float64) bool {
+	return math.Float64bits(v) == math.Float64bits(float64(int64(v)))
+}
+
+// labelValue extracts one label's (unescaped) value from a raw label list.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] != key {
+			continue
+		}
+		v := strings.Trim(kv[1], `"`)
+		v = strings.NewReplacer(`\"`, `"`, `\n`, "\n", `\\`, `\`).Replace(v)
+		return v, true
+	}
+	return "", false
+}
+
+// validPromName reports whether s is a legal metric name.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

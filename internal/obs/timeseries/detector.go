@@ -1,0 +1,166 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regime classifies the windowed blocking level of a run. The paper's
+// central claim is that uncontrolled alternate routing is bistable at high
+// load — the network lingers in a low-blocking mode, tips into a
+// high-blocking mode where alternate-routed calls crowd out direct ones,
+// and only hysteresis brings it back (Olesker-Taylor formalizes the same
+// metastability for DAR). The detector names those modes so the windowed
+// series can be segmented into regime episodes.
+type Regime uint8
+
+const (
+	// RegimeUnknown is the state before the first confirmed classification
+	// (every run starts here) and the From of a run's first shift.
+	RegimeUnknown Regime = iota
+	// RegimeLow is the good mode: windowed blocking at or below the low
+	// threshold.
+	RegimeLow
+	// RegimeHigh is the congested mode: windowed blocking at or above the
+	// high threshold.
+	RegimeHigh
+)
+
+var regimeNames = [...]string{
+	RegimeUnknown: "unknown",
+	RegimeLow:     "low",
+	RegimeHigh:    "high",
+}
+
+// String returns the regime's wire name (used in regime-shift events).
+func (r Regime) String() string {
+	if int(r) < len(regimeNames) {
+		return regimeNames[r]
+	}
+	return fmt.Sprintf("regime(%d)", int(r))
+}
+
+// MarshalText encodes the regime as its wire name.
+func (r Regime) MarshalText() ([]byte, error) {
+	if int(r) >= len(regimeNames) {
+		return nil, fmt.Errorf("timeseries: unknown regime %d", int(r))
+	}
+	return []byte(regimeNames[r]), nil
+}
+
+// UnmarshalText decodes a wire name back into the regime.
+func (r *Regime) UnmarshalText(text []byte) error {
+	s := string(text)
+	for i, name := range regimeNames {
+		if name == s {
+			*r = Regime(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("timeseries: unknown regime %q", s)
+}
+
+// DetectorConfig sets the two-level threshold classifier with dwell-time
+// debouncing. A window classifies high when its blocking is >= High, low
+// when <= Low; windows in the dead band between the thresholds — or with no
+// offered calls at all — carry no signal and reset any pending candidate.
+// A regime change is confirmed (and a shift emitted) only after Dwell
+// consecutive windows classify into the same new regime, so a single
+// spillover window cannot flap the mode. Zero fields take the defaults
+// below.
+type DetectorConfig struct {
+	// Low is the low-regime ceiling (default 0.02): windowed blocking at or
+	// below it classifies the window as RegimeLow.
+	Low float64
+	// High is the high-regime floor (default 0.15): windowed blocking at or
+	// above it classifies the window as RegimeHigh. The wide gap between the
+	// defaults is deliberate — the bistable loss-network modes sit far
+	// apart, and the dead band absorbs the noise in between.
+	High float64
+	// Dwell is the number of consecutive same-classification windows that
+	// confirm a shift (default 3).
+	Dwell int
+}
+
+// Default detector thresholds; see DetectorConfig.
+const (
+	DefaultLowThreshold  = 0.02
+	DefaultHighThreshold = 0.15
+	DefaultDwell         = 3
+)
+
+// withDefaults fills zero fields.
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Low <= 0 {
+		c.Low = DefaultLowThreshold
+	}
+	if c.High <= 0 {
+		c.High = DefaultHighThreshold
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = DefaultDwell
+	}
+	return c
+}
+
+// RegimeShift is one confirmed regime change of a run's windowed-blocking
+// series.
+type RegimeShift struct {
+	// Window indexes the window whose close confirmed the shift (the last
+	// of the Dwell consecutive windows in the new regime).
+	Window int `json:"window"`
+	// Time is the confirming window's end epoch.
+	Time float64 `json:"t"`
+	// From and To are the regimes before and after the shift; From is
+	// RegimeUnknown for a run's first confirmation.
+	From Regime `json:"from"`
+	To   Regime `json:"to"`
+	// Blocking is the confirming window's blocking probability.
+	Blocking float64 `json:"blocking"`
+}
+
+// detector is the per-run classifier state. It is deterministic: the shift
+// sequence is a pure function of the (window, blocking) sequence observed.
+type detector struct {
+	cfg   DetectorConfig
+	cur   Regime // confirmed regime
+	cand  Regime // pending candidate, RegimeUnknown when none
+	count int    // consecutive windows classifying as cand
+}
+
+func newDetector(cfg DetectorConfig) *detector {
+	return &detector{cfg: cfg.withDefaults()}
+}
+
+// observe folds one closed window and reports a confirmed shift, if any.
+// blocking is NaN for windows with no offered calls.
+func (d *detector) observe(window int, endTime, blocking float64) (RegimeShift, bool) {
+	var cand Regime
+	switch {
+	case math.IsNaN(blocking) || (blocking > d.cfg.Low && blocking < d.cfg.High):
+		// No signal: dead band or empty window. A pending candidate loses
+		// its streak.
+		d.cand, d.count = RegimeUnknown, 0
+		return RegimeShift{}, false
+	case blocking >= d.cfg.High:
+		cand = RegimeHigh
+	default:
+		cand = RegimeLow
+	}
+	if cand == d.cur {
+		// Reconfirmation of the current regime also breaks any streak
+		// toward the other one.
+		d.cand, d.count = RegimeUnknown, 0
+		return RegimeShift{}, false
+	}
+	if cand != d.cand {
+		d.cand, d.count = cand, 0
+	}
+	d.count++
+	if d.count < d.cfg.Dwell {
+		return RegimeShift{}, false
+	}
+	shift := RegimeShift{Window: window, Time: endTime, From: d.cur, To: cand, Blocking: blocking}
+	d.cur, d.cand, d.count = cand, RegimeUnknown, 0
+	return shift, true
+}
