@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race fmt bench bench-obs fuzz-smoke examples
+.PHONY: check build vet lint test race fmt bench bench-obs bench-smoke fuzz-smoke examples profile
 
 check: fmt vet build lint race
 
@@ -36,6 +36,21 @@ fmt:
 # update them from this output when the core or the engine changes).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunCalls|BenchmarkEq15Search|BenchmarkFixedPoint|BenchmarkBlockingSweep' -benchmem -count 3 .
+
+# Fast regression tripwire for CI: a short replay benchmark checked by
+# cmd/benchguard against the recorded BENCH_sim.json baseline. Fails on a
+# >30% calls/sec drop; short -benchtime keeps it cheap (and noisy, hence
+# the generous threshold).
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkRunCalls -benchtime 0.3s -count 3 . | $(GO) run ./cmd/benchguard -baseline BENCH_sim.json -max-regress 0.30
+
+# CPU+heap profile of the hot path via BenchmarkRunCalls (replay = event
+# loop only). Inspect with `go tool pprof cpu.out`. For profiling a real
+# experiment run instead, altsim has matching -cpuprofile/-memprofile
+# flags: `go run ./cmd/altsim nsfnet -window 0 -cpuprofile cpu.out`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunCalls/replay' -benchtime 2s -cpuprofile cpu.out -memprofile mem.out .
+	@echo "profiles written: cpu.out mem.out (go tool pprof cpu.out)"
 
 # Observability overhead guard (see BENCH_obs.json for recorded numbers).
 bench-obs:

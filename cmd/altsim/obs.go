@@ -8,6 +8,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -19,11 +21,13 @@ import (
 // obsOptions carries the observability flag values shared by every
 // experiment subcommand.
 type obsOptions struct {
-	events   string        // JSONL event-stream destination
-	metrics  string        // metrics-snapshot destination (JSON)
-	pprof    string        // pprof/expvar/metrics listen address
-	progress time.Duration // stderr progress interval (0 = off)
-	window   float64       // time-series window width (0 = off)
+	events     string        // JSONL event-stream destination
+	metrics    string        // metrics-snapshot destination (JSON)
+	pprof      string        // pprof/expvar/metrics listen address
+	progress   time.Duration // stderr progress interval (0 = off)
+	window     float64       // time-series window width (0 = off)
+	cpuprofile string        // CPU profile destination (pprof format)
+	memprofile string        // heap profile destination (pprof format)
 }
 
 func registerObsFlags(fs *flag.FlagSet) *obsOptions {
@@ -33,12 +37,60 @@ func registerObsFlags(fs *flag.FlagSet) *obsOptions {
 	fs.StringVar(&o.pprof, "pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
 	fs.DurationVar(&o.progress, "progress", 0, "print a progress line to stderr at this interval (e.g. 2s)")
 	fs.Float64Var(&o.window, "window", 5, "windowed time-series width in simulated time units (0 disables the series)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof format)")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on exit (go tool pprof format)")
 	return &o
 }
 
 // enabled reports whether any observability flag was set.
 func (o *obsOptions) enabled() bool {
 	return o.events != "" || o.metrics != "" || o.pprof != "" || o.progress > 0
+}
+
+// startProfiles starts the CPU profile if requested and returns an
+// idempotent finish function that stops it and writes the heap profile.
+// Profile I/O errors are fatal at start (a silently empty profile wastes
+// the whole run) but only reported at finish.
+func (o *obsOptions) startProfiles() func() {
+	var cpuFile *os.File
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "altsim: closing cpu profile:", err)
+				}
+			}
+			if o.memprofile != "" {
+				f, err := os.Create(o.memprofile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "altsim: writing heap profile:", err)
+					return
+				}
+				runtime.GC() // settle live-heap accounting before the snapshot
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					f.Close()
+					fmt.Fprintln(os.Stderr, "altsim: writing heap profile:", err)
+					return
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "altsim: writing heap profile:", err)
+				}
+			}
+		})
+	}
 }
 
 // livePub owns the process-wide expvar and /metrics registrations, which
@@ -88,8 +140,12 @@ func publishLive(reg *obs.Registry, series *timeseries.Folder) {
 // metrics snapshot. finish is idempotent and runs on both normal and fatal
 // exits (fatal calls it via obsFinish).
 func (o *obsOptions) setup(p *experiments.SimParams) func() {
+	// Profiling is deliberately independent of the metrics/sink wiring: a
+	// profile of the hot path should see the uninstrumented engine unless
+	// the user also asked for events or metrics.
+	profileFinish := o.startProfiles()
 	if !o.enabled() {
-		return func() {}
+		return profileFinish
 	}
 
 	reg := obs.NewRegistry()
@@ -191,6 +247,7 @@ func (o *obsOptions) setup(p *experiments.SimParams) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
+			profileFinish()
 			close(stopProgress)
 			progressDone.Wait()
 			if jsonl != nil {

@@ -1,0 +1,181 @@
+// benchguard is the CI throughput tripwire: it reads `go test -bench`
+// output on stdin, extracts the calls/sec metric reported by
+// BenchmarkRunCalls, and compares the best observed number per variant
+// (stream, replay) against the recorded baseline in BENCH_sim.json. It
+// exits nonzero when any variant regresses by more than -max-regress
+// (a fraction; 0.30 means a 30% drop fails).
+//
+// The input is echoed to stdout unchanged so CI logs keep the full
+// benchmark output. Best-of-count comparison plus a generous threshold
+// make the guard robust to the noise of short -benchtime runs; it is a
+// tripwire for large regressions, not a precision benchmark — update the
+// recorded baseline from a full `make bench` when the engine changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// variantKeys maps a BenchmarkRunCalls sub-benchmark name to the key
+// holding its recorded numbers under "optimized" in the baseline file.
+var variantKeys = map[string]string{
+	"stream": "run_calls_stream_calls_per_sec",
+	"replay": "run_calls_replay_calls_per_sec",
+}
+
+// parseBench scans benchmark output for BenchmarkRunCalls results,
+// echoing every line to echo, and returns the best observed calls/sec
+// per variant.
+func parseBench(r io.Reader, echo io.Writer) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		rest, ok := strings.CutPrefix(line, "BenchmarkRunCalls/")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		// The name field is "<variant>" on a single-CPU host and
+		// "<variant>-<GOMAXPROCS>" otherwise.
+		variant, _, _ := strings.Cut(fields[0], "-")
+		if _, known := variantKeys[variant]; !known {
+			continue
+		}
+		for i := 1; i < len(fields); i++ {
+			if fields[i] != "calls/sec" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("unparsable calls/sec in %q: %v", line, err)
+			}
+			if v > best[variant] {
+				best[variant] = v
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// baselineBest extracts the best recorded calls/sec per variant from the
+// BENCH_sim.json "optimized" block, accepting both a single number and a
+// best-of-count array per key.
+func baselineBest(data []byte) (map[string]float64, error) {
+	var file struct {
+		Optimized map[string]json.RawMessage `json:"optimized"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for variant, key := range variantKeys {
+		raw, ok := file.Optimized[key]
+		if !ok {
+			return nil, fmt.Errorf("baseline is missing optimized.%s", key)
+		}
+		var vals []float64
+		if err := json.Unmarshal(raw, &vals); err != nil {
+			var v float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return nil, fmt.Errorf("optimized.%s is neither a number nor an array", key)
+			}
+			vals = []float64{v}
+		}
+		b := 0.0
+		for _, v := range vals {
+			if v > b {
+				b = v
+			}
+		}
+		if b <= 0 {
+			return nil, fmt.Errorf("optimized.%s has no positive value", key)
+		}
+		out[variant] = b
+	}
+	return out, nil
+}
+
+// check compares observed against baseline under the allowed regression
+// fraction and returns one human-readable verdict line per variant plus
+// the overall pass/fail. Missing variants fail: a guard that matched no
+// benchmark output must not pass vacuously.
+func check(observed, baseline map[string]float64, maxRegress float64) ([]string, bool) {
+	variants := make([]string, 0, len(baseline))
+	for v := range baseline {
+		variants = append(variants, v)
+	}
+	sort.Strings(variants)
+	var lines []string
+	ok := true
+	for _, v := range variants {
+		base := baseline[v]
+		got, seen := observed[v]
+		if !seen {
+			lines = append(lines, fmt.Sprintf("benchguard: %s: no BenchmarkRunCalls/%s result in input", v, v))
+			ok = false
+			continue
+		}
+		floor := base * (1 - maxRegress)
+		delta := got/base - 1
+		verdict := "ok"
+		if got < floor {
+			verdict = fmt.Sprintf("FAIL (below the %.0f%% floor %.0f)", 100*(1-maxRegress), floor)
+			ok = false
+		}
+		lines = append(lines, fmt.Sprintf("benchguard: %s: %.0f calls/sec vs baseline %.0f (%+.1f%%): %s",
+			v, got, base, 100*delta, verdict))
+	}
+	return lines, ok
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_sim.json", "recorded benchmark baseline to compare against")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated calls/sec regression as a fraction")
+	flag.Parse()
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		fmt.Fprintln(os.Stderr, "benchguard: -max-regress must be in [0, 1)")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	baseline, err := baselineBest(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	observed, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	lines, ok := check(observed, baseline, *maxRegress)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunCalls/stream-8         	       2	 510000000 ns/op	   2000000 calls/sec	   0.950 carried/unit	  903219 B/op	     351 allocs/op
+BenchmarkRunCalls/stream-8         	       2	 500000000 ns/op	   2100000 calls/sec	   0.950 carried/unit	  903219 B/op	     351 allocs/op
+BenchmarkRunCalls/replay-8         	       4	 260000000 ns/op	   3300000 calls/sec	   0.950 carried/unit	  168936 B/op	      71 allocs/op
+BenchmarkRunCalls/replay         	       4	 250000000 ns/op	   3400000 calls/sec	   0.950 carried/unit	  168936 B/op	      71 allocs/op
+BenchmarkEq15Search/quadrangle@90E/cold-8  	     100	  11000000 ns/op	     312 allocs/op
+PASS
+`
+
+const sampleBaseline = `{
+  "optimized": {
+    "run_calls_stream_calls_per_sec": [2096423, 2105578, 1957352],
+    "run_calls_replay_calls_per_sec": [3394775, 3340919, 3382691]
+  }
+}`
+
+func TestParseBenchBestPerVariant(t *testing.T) {
+	var echo strings.Builder
+	got, err := parseBench(strings.NewReader(sampleBench), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["stream"] != 2100000 || got["replay"] != 3400000 {
+		t.Fatalf("best = %v, want stream=2100000 replay=3400000", got)
+	}
+	if echo.String() != sampleBench {
+		t.Error("input was not echoed verbatim")
+	}
+}
+
+func TestBaselineBest(t *testing.T) {
+	got, err := baselineBest([]byte(sampleBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["stream"] != 2105578 || got["replay"] != 3394775 {
+		t.Fatalf("baseline best = %v", got)
+	}
+	// Scalar form is accepted too.
+	got, err = baselineBest([]byte(`{"optimized": {
+		"run_calls_stream_calls_per_sec": 100,
+		"run_calls_replay_calls_per_sec": 200}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["stream"] != 100 || got["replay"] != 200 {
+		t.Fatalf("scalar baseline best = %v", got)
+	}
+	if _, err := baselineBest([]byte(`{"optimized": {}}`)); err == nil {
+		t.Error("missing keys should be an error")
+	}
+	if _, err := baselineBest([]byte(`{"optimized": {
+		"run_calls_stream_calls_per_sec": 0,
+		"run_calls_replay_calls_per_sec": 200}}`)); err == nil {
+		t.Error("non-positive baseline should be an error")
+	}
+}
+
+func TestCheckThreshold(t *testing.T) {
+	baseline := map[string]float64{"stream": 2000000, "replay": 3000000}
+	cases := []struct {
+		name     string
+		observed map[string]float64
+		ok       bool
+	}{
+		{"all good", map[string]float64{"stream": 1900000, "replay": 3100000}, true},
+		{"at the floor", map[string]float64{"stream": 1400000, "replay": 2100000}, true},
+		{"one regressed", map[string]float64{"stream": 1399999, "replay": 3000000}, false},
+		{"missing variant", map[string]float64{"replay": 3000000}, false},
+		{"empty input", map[string]float64{}, false},
+	}
+	for _, tc := range cases {
+		lines, ok := check(tc.observed, baseline, 0.30)
+		if ok != tc.ok {
+			t.Errorf("%s: ok=%v, want %v (%v)", tc.name, ok, tc.ok, lines)
+		}
+		if len(lines) != 2 {
+			t.Errorf("%s: want one verdict line per baseline variant, got %v", tc.name, lines)
+		}
+	}
+}

@@ -187,6 +187,7 @@ var deterministicPackages = map[string]bool{
 	"repro/internal/erlang":         true,
 	"repro/internal/core":           true,
 	"repro/internal/policy":         true,
+	"repro/internal/routetable":     true,
 	"repro/internal/experiments":    true,
 	"repro/internal/obs":            true,
 	"repro/internal/obs/timeseries": true,

@@ -9,9 +9,11 @@ package policy
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/paths"
+	"repro/internal/routetable"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -50,6 +52,10 @@ type Table struct {
 	// the same seed) make identical choices per call ID, preserving common
 	// random numbers across compared policies.
 	selectorSeed int64
+	// flat is the lazily built compiled form (see Flat); the Once makes
+	// the build race-safe for tables shared across concurrent runs.
+	flatOnce sync.Once
+	flat     *routetable.Flat
 }
 
 // BuildMinHop constructs the route table for the deterministic min-hop SI

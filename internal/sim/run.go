@@ -161,20 +161,45 @@ func (r *Result) PairBlockingOK(i, j graph.NodeID) (float64, bool) {
 	return float64(r.PerPairBlocked[[2]graph.NodeID{i, j}]) / float64(off), true
 }
 
+// depEntry is one scheduled teardown on the heap: its epoch and the
+// call's path in one of two encodings. ref >= 0 names the row slice
+// base[ref:ref+n] of the compiled route table the call was admitted from
+// — the common case on the fast path, costing no pool traffic at all.
+// ref < 0 means the path lives in pool slot n (arbitrary interpreted or
+// rerouted paths, and every entry of a run with failure events, whose
+// extraction machinery needs the pooled meta). Sift operations move these
+// 16-byte values — no interface boxing, no pointer writes, no write
+// barriers.
+type depEntry struct {
+	at  float64 // departure epoch
+	ref int32   // offset into base, or < 0 for a pooled path
+	n   int32   // hop count (ref >= 0) or pool slot (ref < 0)
+}
+
 // departureHeap schedules call teardowns. It is a hand-rolled binary
-// min-heap on parallel primitive slices: sift operations move only an
-// (epoch, pool-slot) pair — no interface boxing, no pointer writes, no
-// write barriers — and the path of each in-progress call lives in a pooled
-// slice reused across departures, so steady-state heap traffic allocates
-// nothing. The sift algorithm mirrors container/heap exactly (same
-// comparisons, same swap sequence), so pop order — equal-epoch ties
-// included — matches the seed implementation bit-for-bit.
+// min-heap over packed (epoch, pool-slot) entries, and the path of each
+// in-progress call lives in a pooled slice reused across departures, so
+// steady-state heap traffic allocates nothing. Sift operations perform
+// container/heap's exact comparison sequence but move the sifted entry as
+// a hole (write it once at its final position instead of swapping at every
+// level) — the resulting array layout, and therefore pop order including
+// equal-epoch ties, matches the seed implementation bit-for-bit.
 type departureHeap struct {
-	at   []float64 // heap-ordered departure epochs
-	slot []int32   // pool slot of each heap entry
+	ents []depEntry // heap-ordered scheduled departures
 	pool []paths.Path
 	meta []depMeta // call identity of each pool slot (failure teardowns)
 	free []int32   // reusable pool slots
+	// base is the compiled route table's link array (routetable.Flat.Links)
+	// that ref-encoded entries slice into; nil for interpreted runs, which
+	// never create such entries.
+	base []graph.LinkID
+	// needMeta is set when the run has failure-plan events: only then can
+	// extract ever read meta, so plan-less runs skip the per-push meta
+	// store entirely. It also forces every push through the pool (pushRow
+	// included), so extraction — which happens only on such runs — always
+	// finds pooled entries with meta, even across mid-run recompiles that
+	// would invalidate ref encodings.
+	needMeta bool
 }
 
 // depMeta is the call identity carried alongside each pooled path so the
@@ -185,70 +210,116 @@ type depMeta struct {
 	origin, dest int32
 }
 
-func (h *departureHeap) len() int { return len(h.at) }
+func (h *departureHeap) len() int { return len(h.ents) }
 
 // push schedules a teardown of path p at epoch at for the call identified
-// by m.
+// by m, storing the path in the pool.
 func (h *departureHeap) push(at float64, p paths.Path, m depMeta) {
 	var s int32
 	if n := len(h.free); n > 0 {
 		s = h.free[n-1]
 		h.free = h.free[:n-1]
 		h.pool[s] = p
-		h.meta[s] = m
+		if h.needMeta {
+			h.meta[s] = m
+		}
 	} else {
 		s = int32(len(h.pool))
 		h.pool = append(h.pool, p)
-		h.meta = append(h.meta, m)
+		if h.needMeta {
+			h.meta = append(h.meta, m)
+		}
 	}
-	h.at = append(h.at, at)
-	h.slot = append(h.slot, s)
-	// Sift up (container/heap's up).
-	j := len(h.at) - 1
+	h.siftUp(depEntry{at: at, ref: -1, n: s})
+}
+
+// pushRow schedules a teardown of the route-table row base[off:off+n] —
+// the compiled engine's admission result. On a plan-less run the row
+// reference is stored in the entry itself and the pool is never touched;
+// with failure events pending the path is pooled like any other, so
+// extraction sees meta and survives table recompiles.
+func (h *departureHeap) pushRow(at float64, off, n int32, m depMeta) {
+	if h.needMeta {
+		h.push(at, paths.Path{Links: h.base[off : off+n]}, m)
+		return
+	}
+	h.siftUp(depEntry{at: at, ref: off, n: n})
+}
+
+// siftUp appends the entry and restores the invariant (container/heap's
+// up, hole form): the comparisons are against the pushed entry's epoch at
+// every level, exactly as when it is swapped upward, so the final layout
+// is identical.
+func (h *departureHeap) siftUp(e depEntry) {
+	h.ents = append(h.ents, e)
+	ents := h.ents
+	j := len(ents) - 1
 	for j > 0 {
 		i := (j - 1) / 2
-		if !(h.at[j] < h.at[i]) {
+		if !(e.at < ents[i].at) {
 			break
 		}
-		h.at[i], h.at[j] = h.at[j], h.at[i]
-		h.slot[i], h.slot[j] = h.slot[j], h.slot[i]
+		ents[j] = ents[i]
 		j = i
 	}
+	ents[j] = e
+}
+
+// path decodes an entry's path: a compiled route-table row or a pooled
+// slice. The pooled form is only valid until the slot is reused.
+func (h *departureHeap) path(e depEntry) paths.Path {
+	if e.ref >= 0 {
+		return paths.Path{Links: h.base[e.ref : e.ref+e.n]}
+	}
+	return h.pool[e.n]
 }
 
 // pop removes and returns the earliest scheduled teardown. The returned
 // path is only valid until the slot is reused by the next push.
 func (h *departureHeap) pop() (at float64, p paths.Path) {
-	n := len(h.at) - 1
-	at = h.at[0]
-	s := h.slot[0]
-	h.at[0], h.slot[0] = h.at[n], h.slot[n]
-	h.at, h.slot = h.at[:n], h.slot[:n]
-	h.siftDown(0)
-	h.free = append(h.free, s)
-	return at, h.pool[s]
+	n := len(h.ents) - 1
+	top := h.ents[0]
+	last := h.ents[n]
+	h.ents = h.ents[:n]
+	if n > 0 {
+		h.siftDownFrom(0, last)
+	}
+	p = h.path(top)
+	if top.ref < 0 {
+		h.free = append(h.free, top.n)
+	}
+	return top.at, p
 }
 
 // siftDown restores the heap invariant below index i (container/heap's
-// down — same comparisons, same swap sequence).
+// down — same comparison sequence).
 func (h *departureHeap) siftDown(i int) {
-	n := len(h.at)
+	h.siftDownFrom(i, h.ents[i])
+}
+
+// siftDownFrom places entry e into the hole at index i, moving smaller
+// children up — container/heap's down with the same comparisons against
+// e's epoch at every level, so the final layout matches the swap form
+// bit-for-bit.
+func (h *departureHeap) siftDownFrom(i int, e depEntry) {
+	ents := h.ents
+	n := len(ents)
 	for {
 		j1 := 2*i + 1
 		if j1 >= n {
 			break
 		}
-		j := j1
-		if j2 := j1 + 1; j2 < n && h.at[j2] < h.at[j1] {
-			j = j2
+		j, c := j1, ents[j1]
+		if j2 := j1 + 1; j2 < n && ents[j2].at < c.at {
+			j, c = j2, ents[j2]
 		}
-		if !(h.at[j] < h.at[i]) {
+		if !(c.at < e.at) {
 			break
 		}
-		h.at[i], h.at[j] = h.at[j], h.at[i]
-		h.slot[i], h.slot[j] = h.slot[j], h.slot[i]
+		ents[i] = c
 		i = j
 	}
+	ents[i] = e
 }
 
 // torndown is one in-flight call removed from the heap by a link failure.
@@ -267,43 +338,554 @@ type torndown struct {
 func (h *departureHeap) extract(hit func(paths.Path) bool) []torndown {
 	var out []torndown
 	n := 0
-	for i := 0; i < len(h.at); i++ {
-		s := h.slot[i]
+	for i := 0; i < len(h.ents); i++ {
+		// Extraction only happens on runs with failure events, where
+		// needMeta forces every entry through the pool (see pushRow).
+		s := h.ents[i].n
 		if hit(h.pool[s]) {
-			out = append(out, torndown{at: h.at[i], path: h.pool[s], meta: h.meta[s]})
+			out = append(out, torndown{at: h.ents[i].at, path: h.pool[s], meta: h.meta[s]})
 			h.free = append(h.free, s)
 			continue
 		}
-		h.at[n], h.slot[n] = h.at[i], h.slot[i]
+		h.ents[n] = h.ents[i]
 		n++
 	}
 	if len(out) == 0 {
 		return nil
 	}
-	h.at, h.slot = h.at[:n], h.slot[:n]
+	h.ents = h.ents[:n]
 	for i := n/2 - 1; i >= 0; i-- {
 		h.siftDown(i)
 	}
 	return out
 }
 
+// loop is one run's event-loop state, shared by the interpreted engine
+// (Policy.Route per call) and the compiled fast path (see compiled.go).
+// Both drive the same bookkeeping methods in the same order, so the two
+// engines are bit-identical by construction everywhere except the routing
+// decision itself — which the compiled path reproduces exactly for the
+// policies it accepts.
+type loop struct {
+	cfg     Config
+	st      *State
+	res     *Result
+	deps    departureHeap
+	plan    []FailureEvent
+	pi      int
+	horizon float64
+
+	numNodes                 int
+	pairOffered, pairBlocked []int64
+
+	sink                          obs.Sink
+	instrumented, occupancyEvents bool
+	drained                       int
+
+	windows       []WindowStats
+	closedWindows int
+
+	lastT float64
+	util  []float64
+	occ   []int
+}
+
+// sampleOccupancy reports each changed link's new occupancy.
+func (l *loop) sampleOccupancy(at float64, p paths.Path) {
+	for _, id := range p.Links {
+		obs.Emit(l.sink, obs.Event{
+			Kind: obs.KindLinkOccupancy, Time: at,
+			Link: int(id), Occupancy: l.st.Occupancy(id),
+		})
+	}
+}
+
+// closeWindows emits WindowClosed for every fully elapsed window; the
+// per-window counts are final once an arrival lands in a later window
+// (arrivals are the only events that update window counts).
+func (l *loop) closeWindows(upTo int) {
+	for ; l.closedWindows < upTo; l.closedWindows++ {
+		w := l.windows[l.closedWindows]
+		obs.Emit(l.sink, obs.Event{
+			Kind: obs.KindWindowClosed, Time: w.End, Window: l.closedWindows,
+			Offered: w.Offered, Blocked: w.Blocked,
+		})
+	}
+}
+
+func (l *loop) windowOf(t float64) *WindowStats {
+	if l.cfg.WindowLength <= 0 || t < l.cfg.Warmup {
+		return nil
+	}
+	k := int((t - l.cfg.Warmup) / l.cfg.WindowLength)
+	for len(l.windows) <= k {
+		start := l.cfg.Warmup + float64(len(l.windows))*l.cfg.WindowLength
+		l.windows = append(l.windows, WindowStats{Start: start, End: start + l.cfg.WindowLength})
+	}
+	if l.instrumented {
+		l.closeWindows(k)
+	}
+	return &l.windows[k]
+}
+
+func (l *loop) accumulate(now float64) {
+	// Integrate occupancy over [lastT, now) clipped to the window.
+	lo := l.lastT
+	if lo < l.cfg.Warmup {
+		lo = l.cfg.Warmup
+	}
+	hi := now
+	if hi > l.horizon {
+		hi = l.horizon
+	}
+	if hi > lo {
+		dt := hi - lo
+		occ := l.occ
+		util := l.util[:len(occ)]
+		for id, o := range occ {
+			// Skipping idle links is exact: adding dt·0 = +0 is the
+			// floating-point identity on these non-negative sums.
+			if o != 0 {
+				util[id] += dt * float64(o)
+			}
+		}
+	}
+	l.lastT = now
+}
+
+// applyPlanGroup consumes every plan event sharing the front event's
+// epoch as one atomic topology change, then tears down or reroutes the
+// affected in-flight calls (DESIGN.md §11). The caller guarantees
+// pi < len(plan).
+func (l *loop) applyPlanGroup() {
+	st, sink := l.st, l.sink
+	at := l.plan[l.pi].Epoch
+	l.accumulate(at)
+	var downed []graph.LinkID
+	for l.pi < len(l.plan) && math.Float64bits(l.plan[l.pi].Epoch) == math.Float64bits(at) {
+		ev := l.plan[l.pi]
+		l.pi++
+		if st.LinkDown(ev.Link) == ev.Down {
+			continue // no-op: the link is already in the requested state
+		}
+		st.SetLinkDown(ev.Link, ev.Down)
+		if l.instrumented {
+			kind := obs.KindLinkUp
+			if ev.Down {
+				kind = obs.KindLinkDown
+			}
+			obs.Emit(sink, obs.Event{
+				Kind: kind, Time: at,
+				Link: int(ev.Link), Occupancy: st.Occupancy(ev.Link),
+			})
+		}
+		if ev.Down {
+			downed = append(downed, ev.Link)
+		}
+	}
+	// Adaptation sees the new topology before any re-admission attempt,
+	// so rescued calls route under the adapted scheme.
+	if l.cfg.TopologyHook != nil {
+		l.cfg.TopologyHook(at, st)
+	}
+	if len(downed) == 0 {
+		return
+	}
+	hitsDowned := func(p paths.Path) bool {
+		for _, id := range p.Links {
+			for _, d := range downed {
+				if id == d {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	torn := l.deps.extract(hitsDowned)
+	if len(torn) == 0 {
+		return
+	}
+	// The failure hits all affected calls simultaneously: release every
+	// dead path first (in call-id order), then run re-admission attempts
+	// one by one so each sees the capacity freed by all teardowns plus
+	// that booked by earlier rescues. Repair invariant: because every
+	// call traversing a failing link is released here and no admission
+	// books a down link, a repaired link always rejoins with zero
+	// occupancy.
+	sort.Slice(torn, func(i, j int) bool { return torn[i].meta.id < torn[j].meta.id })
+	for _, tc := range torn {
+		st.Release(tc.path)
+		if l.occupancyEvents {
+			l.sampleOccupancy(at, tc.path)
+		}
+	}
+	measured := at >= l.cfg.Warmup && at < l.horizon
+	for _, tc := range torn {
+		if l.cfg.Failover == FailoverReroute {
+			// One re-admission attempt over the surviving topology.
+			// Arrival is the failure epoch and Holding the remaining
+			// duration, so the rescued call keeps its original departure.
+			c := Call{
+				ID:     int(tc.meta.id),
+				Origin: graph.NodeID(tc.meta.origin), Dest: graph.NodeID(tc.meta.dest),
+				Arrival: at, Holding: tc.at - at,
+			}
+			if p, alternate, ok := l.cfg.Policy.Route(st, c); ok {
+				st.Occupy(p)
+				l.deps.push(tc.at, p, tc.meta)
+				if measured {
+					l.res.FailureRerouted++
+				}
+				if l.instrumented {
+					obs.Emit(sink, obs.Event{
+						Kind: obs.KindCallRerouted, Time: at, Call: int(tc.meta.id),
+						Origin: int(tc.meta.origin), Dest: int(tc.meta.dest),
+						Hops: p.Hops(), Alternate: alternate, Measured: measured,
+					})
+					if l.occupancyEvents {
+						l.sampleOccupancy(at, p)
+					}
+				}
+				continue
+			}
+		}
+		if measured {
+			l.res.LostToFailure++
+		}
+		if l.instrumented {
+			lostAt := graph.InvalidLink
+			for _, id := range tc.path.Links {
+				if lostAt != graph.InvalidLink {
+					break
+				}
+				for _, d := range downed {
+					if id == d {
+						lostAt = id
+						break
+					}
+				}
+			}
+			obs.Emit(sink, obs.Event{
+				Kind: obs.KindCallLostFailure, Time: at, Call: int(tc.meta.id),
+				Origin: int(tc.meta.origin), Dest: int(tc.meta.dest),
+				Link: int(lostAt), Hops: tc.path.Hops(), Measured: measured,
+			})
+		}
+	}
+}
+
+// departed processes one popped teardown: utilization, release, event.
+func (l *loop) departed(at float64, path paths.Path) {
+	l.accumulate(at)
+	l.st.Release(path)
+	if l.instrumented {
+		obs.Emit(l.sink, obs.Event{
+			Kind: obs.KindCallDeparted, Time: at,
+			Hops: path.Hops(), Measured: at >= l.cfg.Warmup,
+		})
+		if l.occupancyEvents {
+			l.sampleOccupancy(at, path)
+		}
+		l.drained++
+	}
+}
+
+// drainTo processes departures and plan events up to the given epoch, in
+// time order. Simultaneous departures run before an arrival at that epoch
+// (heap pop on at <= epoch), so freed capacity is visible to the admission
+// decision — the event stream preserves that order. Departures tie ahead
+// of plan events at the same epoch: a call ending exactly when its link
+// fails completes normally.
+func (l *loop) drainTo(epoch float64) {
+	if l.pi < len(l.plan) {
+		l.drainPlanTo(epoch)
+		return
+	}
+	if l.instrumented {
+		// No plan events remain: the drain is a pure departure loop.
+		for len(l.deps.ents) > 0 && l.deps.ents[0].at <= epoch {
+			at, path := l.deps.pop()
+			l.departed(at, path)
+		}
+		return
+	}
+	l.drainFast(epoch)
+}
+
+// drainFast is drainTo's uninstrumented plan-less form: the same pop →
+// integrate → release sequence as pop+departed, fused into one loop with
+// the clock and slices held in locals. Every floating-point operation and
+// heap comparison is performed in the exact order of the general form, so
+// the two drains are bit-identical; only call overhead and re-loads of
+// loop fields differ.
+func (l *loop) drainFast(epoch float64) {
+	h := &l.deps
+	occ := l.occ
+	util := l.util[:len(occ)]
+	warm, hor := l.cfg.Warmup, l.horizon
+	lastT := l.lastT
+	base := h.base
+	for len(h.ents) > 0 {
+		e := h.ents[0]
+		if !(e.at <= epoch) {
+			break
+		}
+		// Pop: move the last entry into the hole at the root.
+		n := len(h.ents) - 1
+		last := h.ents[n]
+		h.ents = h.ents[:n]
+		if n > 0 {
+			h.siftDownFrom(0, last)
+		}
+		// Integrate occupancy over [lastT, e.at) clipped to the window —
+		// accumulate's body with the clock in a register.
+		lo := lastT
+		if lo < warm {
+			lo = warm
+		}
+		hi := e.at
+		if hi > hor {
+			hi = hor
+		}
+		if hi > lo {
+			dt := hi - lo
+			for id, o := range occ {
+				if o != 0 {
+					util[id] += dt * float64(o)
+				}
+			}
+		}
+		lastT = e.at
+		// Release the departed path (State.Release inlined; the idle-link
+		// panic guard is preserved).
+		var links []graph.LinkID
+		if e.ref >= 0 {
+			links = base[e.ref : e.ref+e.n]
+		} else {
+			h.free = append(h.free, e.n)
+			links = h.pool[e.n].Links
+		}
+		for _, id := range links {
+			if occ[id] <= 0 {
+				panic(fmt.Errorf("sim: releasing idle link %d", id))
+			}
+			occ[id]--
+		}
+	}
+	l.lastT = lastT
+}
+
+// drainPlanTo is drainTo's general form while failure/repair events are
+// still pending, preserving the departures-first tie rule.
+func (l *loop) drainPlanTo(epoch float64) {
+	for {
+		hasDep := l.deps.len() > 0 && l.deps.ents[0].at <= epoch
+		if l.pi < len(l.plan) && l.plan[l.pi].Epoch <= epoch && !(hasDep && l.deps.ents[0].at <= l.plan[l.pi].Epoch) {
+			l.applyPlanGroup()
+			continue
+		}
+		if !hasDep {
+			break
+		}
+		at, path := l.deps.pop()
+		l.departed(at, path)
+	}
+}
+
+// offered records one arrival's offered-side bookkeeping (counters, window
+// bucket, CallOffered event) and returns whether the call is measured plus
+// its window bucket.
+func (l *loop) offered(c Call, pairIdx int) (measured bool, win *WindowStats) {
+	measured = c.Arrival >= l.cfg.Warmup
+	if l.cfg.WindowLength > 0 {
+		win = l.windowOf(c.Arrival)
+	}
+	if measured {
+		l.res.Offered++
+		l.pairOffered[pairIdx]++
+		if win != nil {
+			win.Offered++
+		}
+	}
+	if l.instrumented {
+		obs.Emit(l.sink, obs.Event{
+			Kind: obs.KindCallOffered, Time: c.Arrival, Call: c.ID,
+			Origin: int(c.Origin), Dest: int(c.Dest),
+			Measured: measured, Drained: l.drained,
+		})
+		l.drained = 0
+	}
+	return measured, win
+}
+
+// admitted records one admission: the teardown is scheduled and the
+// carried-side counters and events updated. The caller has already booked
+// the path's links.
+func (l *loop) admitted(c Call, p paths.Path, alternate, measured bool) {
+	l.deps.push(c.Arrival+c.Holding, p, depMeta{
+		id: int64(c.ID), origin: int32(c.Origin), dest: int32(c.Dest),
+	})
+	l.admitTally(c, p, alternate, measured)
+}
+
+// admittedRow is admitted for a compiled route-table row (see
+// departureHeap.pushRow): the path is base[off:off+hops] and the booking
+// avoids pool traffic on plan-less runs.
+func (l *loop) admittedRow(c Call, off, hops int32, alternate, measured bool) {
+	l.deps.pushRow(c.Arrival+c.Holding, off, hops, depMeta{
+		id: int64(c.ID), origin: int32(c.Origin), dest: int32(c.Dest),
+	})
+	l.admitTally(c, paths.Path{Links: l.deps.base[off : off+hops]}, alternate, measured)
+}
+
+// admitTally updates the carried-side counters and events for one
+// admission.
+func (l *loop) admitTally(c Call, p paths.Path, alternate, measured bool) {
+	if measured {
+		l.res.Accepted++
+		l.res.CarriedHopCount += int64(p.Hops())
+		if alternate {
+			l.res.AlternateAccepted++
+		} else {
+			l.res.PrimaryAccepted++
+		}
+	}
+	if l.instrumented {
+		obs.Emit(l.sink, obs.Event{
+			Kind: obs.KindCallAdmitted, Time: c.Arrival, Call: c.ID,
+			Origin: int(c.Origin), Dest: int(c.Dest),
+			Hops: p.Hops(), Alternate: alternate, Measured: measured,
+		})
+		if l.occupancyEvents {
+			l.sampleOccupancy(c.Arrival, p)
+		}
+	}
+}
+
+// blocked records one loss. blockAt is the first blocking link of the
+// call's primary path when measured (the paper's loss-attribution
+// convention), InvalidLink otherwise; the caller computes it so the two
+// engines can share this bookkeeping.
+func (l *loop) blocked(c Call, pairIdx int, measured bool, win *WindowStats, blockAt graph.LinkID) {
+	if measured {
+		l.res.Blocked++
+		l.pairBlocked[pairIdx]++
+		if win != nil {
+			win.Blocked++
+		}
+		if blockAt != graph.InvalidLink {
+			l.res.LostAtLink[blockAt]++
+		}
+	}
+	if l.instrumented {
+		obs.Emit(l.sink, obs.Event{
+			Kind: obs.KindCallBlocked, Time: c.Arrival, Call: c.ID,
+			Origin: int(c.Origin), Dest: int(c.Dest),
+			Link: int(blockAt), Measured: measured,
+		})
+	}
+}
+
+// runInterpreted is the general engine: one Policy.Route interface call
+// per arrival.
+func (l *loop) runInterpreted(src ArrivalSource) {
+	for {
+		c, more := src.Next()
+		if !more || c.Arrival >= l.horizon {
+			return
+		}
+		l.drainTo(c.Arrival)
+		l.accumulate(c.Arrival)
+		pairIdx := int(c.Origin)*l.numNodes + int(c.Dest)
+		measured, win := l.offered(c, pairIdx)
+		if p, alternate, ok := l.cfg.Policy.Route(l.st, c); ok {
+			l.st.Occupy(p)
+			l.admitted(c, p, alternate, measured)
+			continue
+		}
+		blockAt := graph.InvalidLink
+		if measured {
+			// Attribute the loss to the first blocking link of the primary
+			// path (paper's convention).
+			primary := l.cfg.Policy.PrimaryPath(l.st, c)
+			if admitted, blockLink := l.st.PathAdmitsPrimary(primary); !admitted && blockLink != graph.InvalidLink {
+				blockAt = blockLink
+			}
+		}
+		l.blocked(c, pairIdx, measured, win, blockAt)
+	}
+}
+
+// finish drains the remaining departures and plan events inside the
+// horizon, materializes the per-pair maps, and normalizes utilization.
+func (l *loop) finish() {
+	l.drainTo(l.horizon)
+	l.accumulate(l.horizon)
+	res, numNodes := l.res, l.numNodes
+	// Materialize the dense per-pair counters into the public maps,
+	// presized to their exact population.
+	no, nb := 0, 0
+	for _, v := range l.pairOffered {
+		if v > 0 {
+			no++
+		}
+	}
+	for _, v := range l.pairBlocked {
+		if v > 0 {
+			nb++
+		}
+	}
+	res.PerPairOffered = make(map[[2]graph.NodeID]int64, no)
+	res.PerPairBlocked = make(map[[2]graph.NodeID]int64, nb)
+	for i := 0; i < numNodes; i++ {
+		for j := 0; j < numNodes; j++ {
+			if v := l.pairOffered[i*numNodes+j]; v > 0 {
+				res.PerPairOffered[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = v
+			}
+			if v := l.pairBlocked[i*numNodes+j]; v > 0 {
+				res.PerPairBlocked[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = v
+			}
+		}
+	}
+	res.Span = l.horizon - l.cfg.Warmup
+	window := res.Span
+	for id := range res.LinkTimeUtil {
+		res.LinkTimeUtil[id] /= window
+	}
+	res.Windows = l.windows
+	if l.instrumented {
+		l.closeWindows(len(l.windows))
+		obs.Emit(l.sink, obs.Event{
+			Kind: obs.KindRunEnd, Time: l.horizon,
+			Offered: res.Offered, Blocked: res.Blocked,
+		})
+	}
+}
+
 // Run replays the trace against the policy and returns the measurement
 // window statistics. Setup propagation is instantaneous: each call is
 // admitted or lost atomically at its arrival epoch, which matches the
 // paper's simulator. Run is deterministic.
+//
+// Policies whose routing is fully table-driven (see TableCompiler in
+// compiled.go) are executed on a compiled fast path — flattened route
+// rows scanned against precomputed occupancy thresholds — that is
+// bit-identical to the interpreted engine; everything else falls back to
+// Policy.Route transparently.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Graph == nil || cfg.Policy == nil || (cfg.Trace == nil && cfg.Source == nil) {
 		return nil, fmt.Errorf("sim: incomplete config")
 	}
-	var src ArrivalSource
+	var seed int64
+	var srcHorizon float64
 	if cfg.Trace != nil {
-		src = &traceCursor{t: cfg.Trace}
+		seed, srcHorizon = cfg.Trace.Seed, cfg.Trace.Horizon
 	} else {
-		src = cfg.Source
+		seed, srcHorizon = cfg.Source.Seed(), cfg.Source.Horizon()
 	}
 	horizon := cfg.Horizon
 	if horizon <= 0 {
-		horizon = src.Horizon()
+		horizon = srcHorizon
 	}
 	// NaN comparisons are all false, so a NaN warmup or horizon would slip
 	// past the range check below and silently poison every counter — reject
@@ -321,368 +903,43 @@ func Run(cfg Config) (*Result, error) {
 
 	st := NewState(cfg.Graph)
 	res := &Result{
-		Policy:         cfg.Policy.Name(),
-		PerPairOffered: make(map[[2]graph.NodeID]int64),
-		PerPairBlocked: make(map[[2]graph.NodeID]int64),
-		LostAtLink:     make([]int64, cfg.Graph.NumLinks()),
-		LinkTimeUtil:   make([]float64, cfg.Graph.NumLinks()),
+		Policy:       cfg.Policy.Name(),
+		LostAtLink:   make([]int64, cfg.Graph.NumLinks()),
+		LinkTimeUtil: make([]float64, cfg.Graph.NumLinks()),
 	}
 	// Per-pair counters accumulate in dense matrices on the hot path (one
 	// index computation per call instead of two map insertions); the public
-	// map form is materialized once at the end.
+	// map form is materialized once at the end (loop.finish).
 	numNodes := cfg.Graph.NumNodes()
-	pairOffered := make([]int64, numNodes*numNodes)
-	pairBlocked := make([]int64, numNodes*numNodes)
+	l := &loop{
+		cfg:         cfg,
+		st:          st,
+		res:         res,
+		plan:        plan,
+		horizon:     horizon,
+		numNodes:    numNodes,
+		pairOffered: make([]int64, numNodes*numNodes),
+		pairBlocked: make([]int64, numNodes*numNodes),
+		// The nil test happens once; hot-path instrumentation blocks are
+		// gated on the resulting boolean so disabled runs skip event
+		// construction entirely, and every emission goes through obs.Emit
+		// (sink-discipline).
+		sink:         cfg.Sink,
+		instrumented: cfg.Sink != nil,
+		util:         res.LinkTimeUtil,
+		occ:          st.occ,
+	}
+	l.occupancyEvents = l.instrumented && cfg.OccupancyEvents
+	l.deps.needMeta = len(plan) > 0
 
-	sink := cfg.Sink
-	// The nil test happens once; hot-path instrumentation blocks are gated
-	// on the resulting boolean so disabled runs skip event construction
-	// entirely, and every emission goes through obs.Emit (sink-discipline).
-	instrumented := sink != nil
-	occupancyEvents := instrumented && cfg.OccupancyEvents
-	// sampleOccupancy reports each changed link's new occupancy.
-	sampleOccupancy := func(at float64, p paths.Path) {
-		for _, id := range p.Links {
-			obs.Emit(sink, obs.Event{
-				Kind: obs.KindLinkOccupancy, Time: at,
-				Link: int(id), Occupancy: st.Occupancy(id),
-			})
-		}
+	obs.Emit(l.sink, obs.Event{Kind: obs.KindRunStart, Policy: res.Policy, Seed: seed})
+	if comp, _, ok := compileFor(cfg.Policy, cfg.Graph); ok {
+		l.runCompiled(comp)
+	} else if cfg.Trace != nil {
+		l.runInterpreted(&traceCursor{t: cfg.Trace})
+	} else {
+		l.runInterpreted(cfg.Source)
 	}
-
-	var windows []WindowStats
-	closedWindows := 0
-	// closeWindows emits WindowClosed for every fully elapsed window; the
-	// per-window counts are final once an arrival lands in a later window
-	// (arrivals are the only events that update window counts).
-	closeWindows := func(upTo int) {
-		for ; closedWindows < upTo; closedWindows++ {
-			w := windows[closedWindows]
-			obs.Emit(sink, obs.Event{
-				Kind: obs.KindWindowClosed, Time: w.End, Window: closedWindows,
-				Offered: w.Offered, Blocked: w.Blocked,
-			})
-		}
-	}
-	windowOf := func(t float64) *WindowStats {
-		if cfg.WindowLength <= 0 || t < cfg.Warmup {
-			return nil
-		}
-		k := int((t - cfg.Warmup) / cfg.WindowLength)
-		for len(windows) <= k {
-			start := cfg.Warmup + float64(len(windows))*cfg.WindowLength
-			windows = append(windows, WindowStats{Start: start, End: start + cfg.WindowLength})
-		}
-		if instrumented {
-			closeWindows(k)
-		}
-		return &windows[k]
-	}
-
-	deps := &departureHeap{}
-	lastT := 0.0
-	util := res.LinkTimeUtil
-	occ := st.occ
-	accumulate := func(now float64) {
-		// Integrate occupancy over [lastT, now) clipped to the window.
-		lo := lastT
-		if lo < cfg.Warmup {
-			lo = cfg.Warmup
-		}
-		hi := now
-		if hi > horizon {
-			hi = horizon
-		}
-		if hi > lo {
-			dt := hi - lo
-			for id, o := range occ {
-				// Skipping idle links is exact: adding dt·0 = +0 is the
-				// floating-point identity on these non-negative sums.
-				if o != 0 {
-					util[id] += dt * float64(o)
-				}
-			}
-		}
-		lastT = now
-	}
-
-	// applyPlanGroup consumes every plan event sharing the front event's
-	// epoch as one atomic topology change, then tears down or reroutes the
-	// affected in-flight calls (DESIGN.md §11). The caller guarantees
-	// pi < len(plan).
-	pi := 0
-	applyPlanGroup := func() {
-		at := plan[pi].Epoch
-		accumulate(at)
-		var downed []graph.LinkID
-		for pi < len(plan) && math.Float64bits(plan[pi].Epoch) == math.Float64bits(at) {
-			ev := plan[pi]
-			pi++
-			if st.LinkDown(ev.Link) == ev.Down {
-				continue // no-op: the link is already in the requested state
-			}
-			st.SetLinkDown(ev.Link, ev.Down)
-			if instrumented {
-				kind := obs.KindLinkUp
-				if ev.Down {
-					kind = obs.KindLinkDown
-				}
-				obs.Emit(sink, obs.Event{
-					Kind: kind, Time: at,
-					Link: int(ev.Link), Occupancy: st.Occupancy(ev.Link),
-				})
-			}
-			if ev.Down {
-				downed = append(downed, ev.Link)
-			}
-		}
-		// Adaptation sees the new topology before any re-admission attempt,
-		// so rescued calls route under the adapted scheme.
-		if cfg.TopologyHook != nil {
-			cfg.TopologyHook(at, st)
-		}
-		if len(downed) == 0 {
-			return
-		}
-		hitsDowned := func(p paths.Path) bool {
-			for _, id := range p.Links {
-				for _, d := range downed {
-					if id == d {
-						return true
-					}
-				}
-			}
-			return false
-		}
-		torn := deps.extract(hitsDowned)
-		if len(torn) == 0 {
-			return
-		}
-		// The failure hits all affected calls simultaneously: release every
-		// dead path first (in call-id order), then run re-admission attempts
-		// one by one so each sees the capacity freed by all teardowns plus
-		// that booked by earlier rescues. Repair invariant: because every
-		// call traversing a failing link is released here and no admission
-		// books a down link, a repaired link always rejoins with zero
-		// occupancy.
-		sort.Slice(torn, func(i, j int) bool { return torn[i].meta.id < torn[j].meta.id })
-		for _, tc := range torn {
-			st.Release(tc.path)
-			if occupancyEvents {
-				sampleOccupancy(at, tc.path)
-			}
-		}
-		measured := at >= cfg.Warmup && at < horizon
-		for _, tc := range torn {
-			if cfg.Failover == FailoverReroute {
-				// One re-admission attempt over the surviving topology.
-				// Arrival is the failure epoch and Holding the remaining
-				// duration, so the rescued call keeps its original departure.
-				c := Call{
-					ID:     int(tc.meta.id),
-					Origin: graph.NodeID(tc.meta.origin), Dest: graph.NodeID(tc.meta.dest),
-					Arrival: at, Holding: tc.at - at,
-				}
-				if p, alternate, ok := cfg.Policy.Route(st, c); ok {
-					st.Occupy(p)
-					deps.push(tc.at, p, tc.meta)
-					if measured {
-						res.FailureRerouted++
-					}
-					if instrumented {
-						obs.Emit(sink, obs.Event{
-							Kind: obs.KindCallRerouted, Time: at, Call: int(tc.meta.id),
-							Origin: int(tc.meta.origin), Dest: int(tc.meta.dest),
-							Hops: p.Hops(), Alternate: alternate, Measured: measured,
-						})
-						if occupancyEvents {
-							sampleOccupancy(at, p)
-						}
-					}
-					continue
-				}
-			}
-			if measured {
-				res.LostToFailure++
-			}
-			if instrumented {
-				lostAt := graph.InvalidLink
-				for _, id := range tc.path.Links {
-					if lostAt != graph.InvalidLink {
-						break
-					}
-					for _, d := range downed {
-						if id == d {
-							lostAt = id
-							break
-						}
-					}
-				}
-				obs.Emit(sink, obs.Event{
-					Kind: obs.KindCallLostFailure, Time: at, Call: int(tc.meta.id),
-					Origin: int(tc.meta.origin), Dest: int(tc.meta.dest),
-					Link: int(lostAt), Hops: tc.path.Hops(), Measured: measured,
-				})
-			}
-		}
-	}
-
-	obs.Emit(sink, obs.Event{Kind: obs.KindRunStart, Policy: res.Policy, Seed: src.Seed()})
-	drained := 0
-	for {
-		c, more := src.Next()
-		if !more || c.Arrival >= horizon {
-			break
-		}
-		// Process departures and plan events up to this arrival, in time
-		// order. Simultaneous departures run before the arrival (heap pop on
-		// at <= Arrival), so freed capacity is visible to the admission
-		// decision — the event stream preserves that order. Departures tie
-		// ahead of plan events at the same epoch: a call ending exactly when
-		// its link fails completes normally.
-		for {
-			hasDep := deps.len() > 0 && deps.at[0] <= c.Arrival
-			if pi < len(plan) && plan[pi].Epoch <= c.Arrival && !(hasDep && deps.at[0] <= plan[pi].Epoch) {
-				applyPlanGroup()
-				continue
-			}
-			if !hasDep {
-				break
-			}
-			at, path := deps.pop()
-			accumulate(at)
-			st.Release(path)
-			if instrumented {
-				obs.Emit(sink, obs.Event{
-					Kind: obs.KindCallDeparted, Time: at,
-					Hops: path.Hops(), Measured: at >= cfg.Warmup,
-				})
-				if occupancyEvents {
-					sampleOccupancy(at, path)
-				}
-				drained++
-			}
-		}
-		accumulate(c.Arrival)
-
-		measured := c.Arrival >= cfg.Warmup
-		pairIdx := int(c.Origin)*numNodes + int(c.Dest)
-		var win *WindowStats
-		if cfg.WindowLength > 0 {
-			win = windowOf(c.Arrival)
-		}
-		if measured {
-			res.Offered++
-			pairOffered[pairIdx]++
-			if win != nil {
-				win.Offered++
-			}
-		}
-		if instrumented {
-			obs.Emit(sink, obs.Event{
-				Kind: obs.KindCallOffered, Time: c.Arrival, Call: c.ID,
-				Origin: int(c.Origin), Dest: int(c.Dest),
-				Measured: measured, Drained: drained,
-			})
-			drained = 0
-		}
-		p, alternate, ok := cfg.Policy.Route(st, c)
-		if ok {
-			st.Occupy(p)
-			deps.push(c.Arrival+c.Holding, p, depMeta{
-				id: int64(c.ID), origin: int32(c.Origin), dest: int32(c.Dest),
-			})
-			if measured {
-				res.Accepted++
-				res.CarriedHopCount += int64(p.Hops())
-				if alternate {
-					res.AlternateAccepted++
-				} else {
-					res.PrimaryAccepted++
-				}
-			}
-			if instrumented {
-				obs.Emit(sink, obs.Event{
-					Kind: obs.KindCallAdmitted, Time: c.Arrival, Call: c.ID,
-					Origin: int(c.Origin), Dest: int(c.Dest),
-					Hops: p.Hops(), Alternate: alternate, Measured: measured,
-				})
-				if occupancyEvents {
-					sampleOccupancy(c.Arrival, p)
-				}
-			}
-			continue
-		}
-		blockAt := graph.InvalidLink
-		if measured {
-			res.Blocked++
-			pairBlocked[pairIdx]++
-			if win != nil {
-				win.Blocked++
-			}
-			// Attribute the loss to the first blocking link of the primary
-			// path (paper's convention).
-			primary := cfg.Policy.PrimaryPath(st, c)
-			if admitted, blockLink := st.PathAdmitsPrimary(primary); !admitted && blockLink != graph.InvalidLink {
-				res.LostAtLink[blockLink]++
-				blockAt = blockLink
-			}
-		}
-		if instrumented {
-			obs.Emit(sink, obs.Event{
-				Kind: obs.KindCallBlocked, Time: c.Arrival, Call: c.ID,
-				Origin: int(c.Origin), Dest: int(c.Dest),
-				Link: int(blockAt), Measured: measured,
-			})
-		}
-	}
-	// Drain remaining departures and plan events inside the horizon for
-	// utilization (same departures-first tie rule as the main loop).
-	for {
-		hasDep := deps.len() > 0 && deps.at[0] <= horizon
-		if pi < len(plan) && plan[pi].Epoch <= horizon && !(hasDep && deps.at[0] <= plan[pi].Epoch) {
-			applyPlanGroup()
-			continue
-		}
-		if !hasDep {
-			break
-		}
-		at, path := deps.pop()
-		accumulate(at)
-		st.Release(path)
-		if instrumented {
-			obs.Emit(sink, obs.Event{
-				Kind: obs.KindCallDeparted, Time: at,
-				Hops: path.Hops(), Measured: at >= cfg.Warmup,
-			})
-			if occupancyEvents {
-				sampleOccupancy(at, path)
-			}
-		}
-	}
-	accumulate(horizon)
-	for i := 0; i < numNodes; i++ {
-		for j := 0; j < numNodes; j++ {
-			if v := pairOffered[i*numNodes+j]; v > 0 {
-				res.PerPairOffered[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = v
-			}
-			if v := pairBlocked[i*numNodes+j]; v > 0 {
-				res.PerPairBlocked[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = v
-			}
-		}
-	}
-	res.Span = horizon - cfg.Warmup
-	window := res.Span
-	for id := range res.LinkTimeUtil {
-		res.LinkTimeUtil[id] /= window
-	}
-	res.Windows = windows
-	if instrumented {
-		closeWindows(len(windows))
-		obs.Emit(sink, obs.Event{
-			Kind: obs.KindRunEnd, Time: horizon,
-			Offered: res.Offered, Blocked: res.Blocked,
-		})
-	}
+	l.finish()
 	return res, nil
 }

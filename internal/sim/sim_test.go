@@ -186,6 +186,59 @@ func TestStatePathChecksAndBlockingLink(t *testing.T) {
 	}
 }
 
+// TestStateGuardedLookup pins the bounds+down rule shared through linkCap:
+// out-of-range link ids and protection slices shorter than the path's link
+// ids must degrade gracefully (0 free, no admission, r = 0), never panic.
+func TestStateGuardedLookup(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	ab := g.MustAddLink(a, b, 3)
+	bc := g.MustAddLink(b, c, 3)
+	s := NewState(g)
+
+	for _, id := range []graph.LinkID{graph.LinkID(g.NumLinks()), 999, graph.InvalidLink} {
+		if got := s.Free(id); got != 0 {
+			t.Errorf("Free(%d) = %d, want 0", id, got)
+		}
+		if s.AdmitsPrimary(id) {
+			t.Errorf("AdmitsPrimary(%d) = true, want false", id)
+		}
+		if s.AdmitsAlternate(id, 0) {
+			t.Errorf("AdmitsAlternate(%d, 0) = true, want false", id)
+		}
+		if !s.LinkDown(id) {
+			t.Errorf("LinkDown(%d) = false; out-of-range links count as down", id)
+		}
+		s.SetLinkDown(id, true) // ignored, must not panic
+	}
+
+	// A protection slice shorter than the path's largest link id: the
+	// uncovered links carry r = 0, and the check must not index past r.
+	p := paths.Path{Nodes: []graph.NodeID{a, b, c}, Links: []graph.LinkID{ab, bc}}
+	short := []int{2} // covers ab only; bc is beyond the slice
+	if ok, blocked := s.PathAdmitsAlternate(p, short); !ok {
+		t.Errorf("idle path with short r: blocked at %d, want admitted", blocked)
+	}
+	if ok, blocked := s.PathAdmitsAlternate(p, nil); !ok {
+		t.Errorf("idle path with nil r: blocked at %d, want admitted", blocked)
+	}
+	// Fill ab to C−r = 1 admission boundary: occ(ab)=1 with r=2 on C=3
+	// blocks (occ > C−r−1 = 0), proving the covered prefix still applies.
+	s.OccupyLink(ab)
+	if ok, blocked := s.PathAdmitsAlternate(p, short); ok || blocked != ab {
+		t.Errorf("short r: ok=%v blocked=%d, want blocked at %d", ok, blocked, ab)
+	}
+	// And bc, past the end of r, behaves as unprotected: fills to capacity.
+	s.OccupyLink(bc)
+	s.OccupyLink(bc)
+	s.OccupyLink(bc)
+	if ok, blocked := s.PathAdmitsAlternate(paths.Path{Links: []graph.LinkID{bc}}, short); ok || blocked != bc {
+		t.Errorf("full uncovered link: ok=%v blocked=%d, want blocked at %d", ok, blocked, bc)
+	}
+}
+
 func TestStatePanics(t *testing.T) {
 	g := graph.New()
 	a := g.AddNode("a")

@@ -65,13 +65,25 @@ func (s *State) SetLinkDown(id graph.LinkID, down bool) {
 	}
 }
 
+// linkCap is the single guarded link lookup behind every admission check:
+// it returns the link's capacity and whether the link is usable (in range
+// and up). Free, AdmitsAlternate, and the compiled threshold builder all
+// share it, so the bounds+down rule lives in exactly one place.
+func (s *State) linkCap(id graph.LinkID) (int, bool) {
+	if uint(id) >= uint(len(s.links)) || s.down[id] {
+		return 0, false
+	}
+	return s.links[id].Capacity, true
+}
+
 // Free returns the spare capacity of the link (0 for down or unknown
 // links).
 func (s *State) Free(id graph.LinkID) int {
-	if uint(id) >= uint(len(s.links)) || s.down[id] {
+	c, up := s.linkCap(id)
+	if !up {
 		return 0
 	}
-	return s.links[id].Capacity - s.occ[id]
+	return c - s.occ[id]
 }
 
 // AdmitsPrimary reports whether the link can accept one more primary-routed
@@ -85,10 +97,10 @@ func (s *State) AdmitsPrimary(id graph.LinkID) bool {
 // alternates in its last r+1 states (C−r, …, C), i.e. it admits iff
 // occupancy <= C−r−1 (§2).
 func (s *State) AdmitsAlternate(id graph.LinkID, r int) bool {
-	if uint(id) >= uint(len(s.links)) || s.down[id] {
+	c, up := s.linkCap(id)
+	if !up {
 		return false
 	}
-	c := s.links[id].Capacity
 	if r < 0 {
 		r = 0
 	}
