@@ -1,21 +1,29 @@
 // Command altlint runs the repository's determinism and float-identity
 // static-analysis pass (internal/analysis) over package patterns and prints
-// findings as file:line: rule: message.
+// findings as file:line:col: rule: message.
 //
 // Usage:
 //
-//	altlint [-rules rule1,rule2] [-list] [packages...]
+//	altlint [-rules rule1,rule2] [-list] [-json] [-baseline file] [-update-baseline] [packages...]
 //
 // With no patterns it analyzes ./.... The exit status is 0 when the tree is
 // clean, 1 when there are findings, and 2 on a loading or usage error.
 // Findings are suppressed with `//altlint:ignore <rule> <reason>` on the
 // flagged line or the line above; the reason is mandatory.
+//
+// -baseline names the sanctioned-escape file the hotpath rule diffs
+// against (empty means an empty baseline). -update-baseline recompiles the
+// annotated packages and rewrites that file from the observed escapes
+// before linting — the `BASELINE_UPDATE=1 make lint` path. -json prints
+// findings as a JSON array instead of text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -25,10 +33,22 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("altlint", flag.ContinueOnError)
 	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	list := fs.Bool("list", false, "list the available rules and exit")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array")
+	baselinePath := fs.String("baseline", "", "hotpath escape baseline file (empty: no sanctioned escapes)")
+	update := fs.Bool("update-baseline", false, "rewrite -baseline from the observed escapes before linting")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -36,7 +56,7 @@ func run(args []string) int {
 	all := analysis.All()
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -44,19 +64,27 @@ func run(args []string) int {
 	selected := all
 	if *rules != "" {
 		byName := make(map[string]*analysis.Analyzer, len(all))
+		valid := make([]string, 0, len(all))
 		for _, a := range all {
 			byName[a.Name] = a
+			valid = append(valid, a.Name)
 		}
 		selected = nil
 		for _, name := range strings.Split(*rules, ",") {
 			name = strings.TrimSpace(name)
 			a, ok := byName[name]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "altlint: unknown rule %q (try -list)\n", name)
+				fmt.Fprintf(os.Stderr, "altlint: unknown rule %q; valid rules: %s\n", name, strings.Join(valid, ", "))
 				return 2
 			}
 			selected = append(selected, a)
 		}
+	}
+	if len(selected) == 0 {
+		// Unreachable today (an unknown name errors above), but a selection
+		// of zero analyzers must never pass vacuously.
+		fmt.Fprintln(os.Stderr, "altlint: no rules selected")
+		return 2
 	}
 
 	pkgs, err := analysis.Load("", fs.Args()...)
@@ -64,13 +92,74 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	findings := analysis.Run(pkgs, selected)
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *update {
+		path := *baselinePath
+		if path == "" {
+			path = "lint_baseline.json"
+		}
+		if code := writeBaseline(pkgs, path); code != 0 {
+			return code
+		}
+		*baselinePath = path
+	}
+	var baseline *analysis.Baseline
+	if *baselinePath != "" {
+		baseline, err = analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "altlint:", err)
+			return 2
+		}
+	}
+
+	findings := analysis.RunOpts(pkgs, selected, baseline)
+	if *jsonOut {
+		out := make([]jsonFinding, len(findings))
+		for i, f := range findings {
+			out[i] = jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Rule: f.Rule, Message: f.Message}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "altlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "altlint: %d finding(s)\n", len(findings))
 		return 1
 	}
+	return 0
+}
+
+// writeBaseline recompiles the annotated packages and rewrites path with
+// the observed hotpath escape sets.
+func writeBaseline(pkgs []*analysis.Package, path string) int {
+	hp, err := analysis.HotpathBaseline(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "altlint: collecting hotpath baseline:", err)
+		return 2
+	}
+	data, err := json.MarshalIndent(analysis.Baseline{Hotpath: hp}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "altlint:", err)
+		return 2
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "altlint:", err)
+		return 2
+	}
+	total := 0
+	keys := make([]string, 0, len(hp))
+	for k, msgs := range hp {
+		keys = append(keys, k)
+		total += len(msgs)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(os.Stderr, "altlint: %s updated: %d hotpath function(s), %d sanctioned escape(s)\n", path, len(keys), total)
 	return 0
 }

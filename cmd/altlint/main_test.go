@@ -1,6 +1,32 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captured runs fn with the given standard stream swapped for a pipe and
+// returns everything written to it.
+func captured(t *testing.T, stream **os.File, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := *stream
+	*stream = w
+	defer func() { *stream = orig }()
+	fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("reading pipe: %v", err)
+	}
+	return string(out)
+}
 
 func TestListExitsClean(t *testing.T) {
 	if got := run([]string{"-list"}); got != 0 {
@@ -9,8 +35,39 @@ func TestListExitsClean(t *testing.T) {
 }
 
 func TestUnknownRuleIsUsageError(t *testing.T) {
-	if got := run([]string{"-rules", "no-such-rule", "./..."}); got != 2 {
-		t.Fatalf("unknown rule exit = %d, want 2", got)
+	var code int
+	stderr := captured(t, &os.Stderr, func() {
+		code = run([]string{"-rules", "no-such-rule", "./..."})
+	})
+	if code != 2 {
+		t.Fatalf("unknown rule exit = %d, want 2", code)
+	}
+	for _, want := range []string{`unknown rule "no-such-rule"`, "valid rules:", "nondet-source", "hotpath"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr %q does not mention %q", stderr, want)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var code int
+	stdout := captured(t, &os.Stdout, func() {
+		code = run([]string{"-json", "repro/internal/analysis/testdata/src/nondet"})
+	})
+	if code != 1 {
+		t.Fatalf("fixture exit = %d, want 1", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output is empty, want the fixture's findings")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
 	}
 }
 

@@ -1,15 +1,23 @@
 // Package analysis implements altlint, the repository's static-analysis
 // pass: a small, stdlib-only (go/ast + go/parser + go/types) analyzer
-// framework plus the rules that turn the determinism and float-identity
-// contract of DESIGN.md §8–9 into machine-checked invariants.
+// framework plus the rules that turn the determinism, float-identity, and
+// hot-path allocation contracts of DESIGN.md §8–9 and §14 into
+// machine-checked invariants.
 //
 // The contract, in brief: the simulator's results must be bit-identical
 // across runs and across refactors. That forbids ranging over maps into
 // anything order-sensitive, consuming nondeterministic sources (wall clock,
 // global RNG, environment) in result-bearing packages, and comparing floats
 // for identity outside the sanctioned math.Float64bits cache-key pattern.
-// Each rule is an Analyzer; cmd/altlint drives them over package patterns
-// and self_test.go keeps the repository itself clean.
+// The nondet-source and float-identity rules are interprocedural: a module
+// call graph (see Module) propagates taint from helpers that transitively
+// reach a source, so laundering through another package is still caught.
+// Two structural rules ride on the same graph: goroutine-discipline bans
+// raw go statements outside annotated bounded-pool spawn sites, and
+// hotpath diffs the gc escape analysis of //altlint:hotpath functions
+// against the checked-in lint_baseline.json. Each rule is an Analyzer;
+// cmd/altlint drives them over package patterns and self_test.go keeps the
+// repository itself clean.
 //
 // Findings can be suppressed with a line comment
 //
@@ -48,15 +56,20 @@ type Finding struct {
 	Message string
 }
 
-// String renders the finding in the canonical file:line: rule: message form.
+// String renders the finding in the canonical file:line:col: rule: message
+// form (column included so editors can jump precisely).
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
 }
 
 // A Pass carries one analyzer's view of one package.
 type Pass struct {
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// Mod is the module-wide view (call graph, annotations, baseline) the
+	// interprocedural rules consult. It is shared across all passes of one
+	// Run.
+	Mod *Module
 
 	analyzer *Analyzer
 	report   func(Finding)
@@ -64,8 +77,15 @@ type Pass struct {
 
 // Report records a finding at pos under the running analyzer's rule name.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.ReportAt(p.Pkg.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a finding at an explicit source position — the form the
+// hotpath rule uses for compiler-attributed escape sites, which have no
+// token.Pos in the loaded file set.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
 	p.report(Finding{
-		Pos:     p.Pkg.Fset.Position(pos),
+		Pos:     pos,
 		Rule:    p.analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
@@ -116,8 +136,17 @@ func collectSuppressions(pkg *Package, report func(Finding)) map[suppression]boo
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by position. A finding is dropped when a well-formed
 // ignore directive for its rule sits on the same line or the line above.
+// Run uses an empty hotpath baseline; drivers with a checked-in baseline
+// use RunOpts.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
+	return RunOpts(pkgs, analyzers, nil)
+}
+
+// RunOpts is Run with an explicit hotpath baseline (nil means empty: every
+// escape in an annotated function is a finding).
+func RunOpts(pkgs []*Package, analyzers []*Analyzer, baseline *Baseline) []Finding {
+	mod := NewModule(pkgs, baseline)
+	findings := append([]Finding(nil), mod.directiveFindings...)
 	for _, pkg := range pkgs {
 		collect := func(f Finding) { findings = append(findings, f) }
 		sup := collectSuppressions(pkg, collect)
@@ -137,6 +166,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Pkg:      pkg,
+				Mod:      mod,
 				analyzer: a,
 				report: func(f Finding) {
 					if !suppressed(f) {
@@ -154,6 +184,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
 		}
 		return a.Rule < b.Rule
 	})
@@ -177,6 +210,8 @@ func All() []*Analyzer {
 		FloatIdentity,
 		SinkDiscipline,
 		DocCoverage,
+		GoroutineDiscipline,
+		Hotpath,
 	}
 }
 
@@ -191,25 +226,35 @@ var deterministicPackages = map[string]bool{
 	"repro/internal/experiments":    true,
 	"repro/internal/obs":            true,
 	"repro/internal/obs/timeseries": true,
+	// benchguard gates merges on its verdicts; a nondeterministic guard
+	// would make CI outcomes unreproducible.
+	"repro/cmd/benchguard": true,
 }
 
 // fixturePrefix marks the analyzer test fixtures, which opt in to every
-// package-scoped rule so each rule can be exercised in isolation.
+// package-scoped rule so each rule can be exercised in isolation. Fixture
+// packages whose path ends in "helper" opt back out: they model the
+// non-deterministic packages the interprocedural taint rules trace
+// through (a fixture needs both sides of the boundary).
 const fixturePrefix = "repro/internal/analysis/testdata/"
 
 // isDeterministic reports whether the determinism rules apply to pkgPath.
 func isDeterministic(pkgPath string) bool {
-	return deterministicPackages[pkgPath] || strings.HasPrefix(pkgPath, fixturePrefix)
+	if strings.HasPrefix(pkgPath, fixturePrefix) {
+		return !strings.HasSuffix(pkgPath, "helper")
+	}
+	return deterministicPackages[pkgPath]
 }
 
 // facadePackages lists the packages whose exported API must be documented
-// (doc-coverage): the public facade and the numerically load-bearing
-// internals.
+// (doc-coverage): the public facade, the numerically load-bearing
+// internals, and the CI gatekeeper.
 var facadePackages = map[string]bool{
 	"repro":                         true,
 	"repro/internal/erlang":         true,
 	"repro/internal/sim":            true,
 	"repro/internal/obs/timeseries": true,
+	"repro/cmd/benchguard":          true,
 }
 
 // needsDocs reports whether doc-coverage applies to pkgPath.
@@ -219,7 +264,12 @@ func needsDocs(pkgPath string) bool {
 
 // inspectAll walks every file of the pass's package.
 func inspectAll(pass *Pass, visit func(ast.Node) bool) {
-	for _, f := range pass.Pkg.Files {
+	inspectFiles(pass.Pkg, visit)
+}
+
+// inspectFiles walks every file of a package.
+func inspectFiles(pkg *Package, visit func(ast.Node) bool) {
+	for _, f := range pkg.Files {
 		ast.Inspect(f, visit)
 	}
 }

@@ -20,9 +20,16 @@ import (
 // the tie-break comparator, `if a != b { return a < b }`: any bit
 // difference flows into a total order rather than divergent logic, which is
 // exactly how the arrival generators keep their orderings deterministic.
+//
+// The rule is interprocedural: a function anywhere in the loaded package
+// set whose body performs a float-identity comparison taints its transitive
+// callers, and a call from a deterministic package into a tainted function
+// of a non-deterministic package is reported at the call site (see
+// taint.go). `//altlint:float-ok <reason>` on a function sanctions it as a
+// deliberate float-identity user and cuts the taint there.
 var FloatIdentity = &Analyzer{
 	Name: "float-identity",
-	Doc:  "flag ==/!= on floats and float map keys outside the math.Float64bits pattern",
+	Doc:  "flag ==/!= on floats and float map keys outside the math.Float64bits pattern (interprocedural)",
 	Run:  runFloatIdentity,
 }
 
@@ -30,8 +37,9 @@ func runFloatIdentity(pass *Pass) {
 	if !isDeterministic(pass.Pkg.PkgPath) {
 		return
 	}
+	reportTaintedCalls(pass, "float-ok", pass.Mod.floatTaint(), "transitively performs")
 	info := pass.Pkg.Info
-	allowed := tieBreakComparisons(pass)
+	allowed := pass.Mod.tiebreakFor(pass.Pkg)
 	inspectAll(pass, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.BinaryExpr:
@@ -60,10 +68,12 @@ func runFloatIdentity(pass *Pass) {
 
 // tieBreakComparisons collects the `!=` expressions sanctioned by the
 // comparator idiom: the condition of an if statement whose body is exactly
-// `return x < y` (or `x > y`) over the same two operands.
-func tieBreakComparisons(pass *Pass) map[*ast.BinaryExpr]bool {
+// `return x < y` (or `x > y`) over the same two operands. It is computed
+// per package and cached on the Module (tiebreakFor), since both the
+// intraprocedural rule and the float taint source scan consult it.
+func tieBreakComparisons(pkg *Package) map[*ast.BinaryExpr]bool {
 	out := make(map[*ast.BinaryExpr]bool)
-	inspectAll(pass, func(n ast.Node) bool {
+	inspectFiles(pkg, func(n ast.Node) bool {
 		ifs, ok := n.(*ast.IfStmt)
 		if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) != 1 {
 			return true

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoroutineDiscipline keeps all concurrency inside bounded, deterministic
+// pools: a raw `go` statement anywhere in the module (outside cmd/ mains)
+// is a finding unless the enclosing function is annotated
+// `//altlint:spawn-ok <reason>` — the sanctioned spawn sites are the
+// worker-pool primitives (experiments.parallelFor, fixedpoint's Jacobi
+// fan-out) whose goroutine count is bounded by the worker knob and whose
+// results merge in deterministic order (DESIGN.md §10). An unsanctioned
+// goroutine is either unbounded concurrency or a result-ordering hazard;
+// both have historically been the first casualty of a refactor.
+//
+// cmd/ packages are exempt wholesale: drivers own their own concurrency
+// (progress tickers, signal handlers, flush loops) and never feed results.
+var GoroutineDiscipline = &Analyzer{
+	Name: "goroutine-discipline",
+	Doc:  "raw go statements outside cmd/ must carry //altlint:spawn-ok (bounded-pool contract)",
+	Run:  runGoroutineDiscipline,
+}
+
+// cmdPrefix marks driver packages, exempt from the spawn discipline.
+const cmdPrefix = "repro/cmd/"
+
+func runGoroutineDiscipline(pass *Pass) {
+	if strings.HasPrefix(pass.Pkg.PkgPath, cmdPrefix) {
+		return
+	}
+	for _, fi := range pass.Mod.funcsOf(pass.Pkg) {
+		if _, sanctioned := fi.Ann["spawn-ok"]; sanctioned {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Report(g.Pos(), "raw go statement: concurrency must stay in bounded deterministic pools (parallelFor and friends); annotate the pool's spawn site //altlint:spawn-ok <reason> if this is one")
+			}
+			return true
+		})
+	}
+}

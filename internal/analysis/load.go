@@ -21,6 +21,9 @@ import (
 type Package struct {
 	// PkgPath is the import path ("repro/internal/sim").
 	PkgPath string
+	// Dir is the package's source directory (absolute), used as the working
+	// directory for the hotpath rule's escape-analysis subprocess.
+	Dir string
 	// Fset positions every token of Files.
 	Fset *token.FileSet
 	// Files are the parsed non-test source files, with comments.
@@ -117,6 +120,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		out = append(out, &Package{
 			PkgPath: p.ImportPath,
+			Dir:     p.Dir,
 			Fset:    fset,
 			Files:   files,
 			Types:   tpkg,

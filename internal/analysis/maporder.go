@@ -33,15 +33,20 @@ func runMapOrder(pass *Pass) {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if ok && fn.Body != nil {
-				checkFuncMapRanges(pass, fn.Body, info)
+				forEachMapOrderHit(info, fn.Body, func(pos token.Pos, msg string) {
+					pass.Report(pos, "%s", msg)
+				})
 			}
 		}
 	}
 }
 
-// checkFuncMapRanges inspects one function body (including nested function
-// literals; the post-loop sort exemption is scoped to the enclosing body).
-func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt, info *types.Info) {
+// forEachMapOrderHit inspects one function body (including nested function
+// literals; the post-loop sort exemption is scoped to the enclosing body)
+// and calls emit for every order-sensitive statement inside a map range.
+// It is shared by the intraprocedural rule above and the interprocedural
+// nondet taint, which treats any hit as a nondeterminism source.
+func forEachMapOrderHit(info *types.Info, body *ast.BlockStmt, emit func(token.Pos, string)) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -54,29 +59,29 @@ func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt, info *types.Info) {
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		reportMapRange(pass, rng, body, info)
+		mapRangeHits(info, rng, body, emit)
 		return true
 	})
 }
 
-// reportMapRange reports the order-sensitive statements inside one
-// map-range body, applying the sort-after exemption to appends.
-func reportMapRange(pass *Pass, rng *ast.RangeStmt, enclosing *ast.BlockStmt, info *types.Info) {
+// mapRangeHits emits the order-sensitive statements inside one map-range
+// body, applying the sort-after exemption to appends.
+func mapRangeHits(info *types.Info, rng *ast.RangeStmt, enclosing *ast.BlockStmt, emit func(token.Pos, string)) {
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SendStmt:
-			pass.Report(n.Pos(), "channel send inside map iteration: receiver observes random key order; sort the keys and range over the sorted slice")
+			emit(n.Pos(), "channel send inside map iteration: receiver observes random key order; sort the keys and range over the sorted slice")
 		case *ast.CallExpr:
 			if isBuiltinAppend(n, info) {
 				target := appendTarget(n)
 				if target != nil && sortedAfter(target, rng, enclosing, info) {
 					return true
 				}
-				pass.Report(n.Pos(), "append inside map iteration produces a randomly ordered slice: sort the keys first (or sort the result before use)")
+				emit(n.Pos(), "append inside map iteration produces a randomly ordered slice: sort the keys first (or sort the result before use)")
 				return true
 			}
 			if name, ok := orderSensitiveCall(n, info); ok {
-				pass.Report(n.Pos(), "%s inside map iteration emits in random key order: sort the keys and range over the sorted slice", name)
+				emit(n.Pos(), name+" inside map iteration emits in random key order: sort the keys and range over the sorted slice")
 			}
 		}
 		return true

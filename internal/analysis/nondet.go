@@ -12,9 +12,19 @@ import (
 // derived from explicit (seed, key...) tuples, so identical configurations
 // replay identical traces; rand.New/rand.NewSource over an explicit seed
 // remain legal, which is exactly how xrand builds its generators.
+//
+// The rule is interprocedural: a function anywhere in the loaded package
+// set that transitively reaches a banned source — or an order-sensitive
+// unordered map iteration, the map-order criteria — taints its callers,
+// and a call from a deterministic package into a tainted function of a
+// non-deterministic package is reported at the call site, so a helper that
+// launders time.Now through another package no longer slips past the
+// package-scoped scan. `//altlint:nondet-ok <reason>` on a function
+// sanctions it as a deliberate nondeterminism sink (CLI flag parsing,
+// wall-clock-only telemetry) and cuts the taint there.
 var NondetSource = &Analyzer{
 	Name: "nondet-source",
-	Doc:  "ban time.Now, global math/rand, and os.Getenv in deterministic packages",
+	Doc:  "ban time.Now, global math/rand, and os.Getenv in deterministic packages (interprocedural)",
 	Run:  runNondetSource,
 }
 
@@ -46,6 +56,7 @@ func runNondetSource(pass *Pass) {
 	if !isDeterministic(pass.Pkg.PkgPath) {
 		return
 	}
+	reportTaintedCalls(pass, "nondet-ok", pass.Mod.nondetTaint(), "transitively reaches nondeterministic source")
 	info := pass.Pkg.Info
 	inspectAll(pass, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)

@@ -53,15 +53,28 @@ func base(path string) string {
 // findings against the fixture's want markers plus any extra expectations.
 func runFixture(t *testing.T, dir string, a *analysis.Analyzer, extra ...expectation) {
 	t.Helper()
-	pkgs, err := analysis.Load("", "./testdata/src/"+dir)
+	runFixturePattern(t, dir, []*analysis.Analyzer{a}, nil, extra...)
+}
+
+// runFixturePattern is runFixture generalized to multi-package patterns
+// (the interprocedural fixtures span a deterministic package and a tainted
+// helper), several analyzers at once, and an explicit hotpath baseline.
+func runFixturePattern(t *testing.T, pattern string, analyzers []*analysis.Analyzer, baseline *analysis.Baseline, extra ...expectation) {
+	t.Helper()
+	dir := pattern
+	pkgs, err := analysis.Load("", "./testdata/src/"+pattern)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: loaded zero packages", dir)
 	}
-	findings := analysis.Run(pkgs, []*analysis.Analyzer{a})
-	expected := append(collectWants(pkgs[0]), extra...)
+	findings := analysis.RunOpts(pkgs, analyzers, baseline)
+	var expected []expectation
+	for _, pkg := range pkgs {
+		expected = append(expected, collectWants(pkg)...)
+	}
+	expected = append(expected, extra...)
 
 	matched := make([]bool, len(findings))
 	for _, want := range expected {
@@ -126,4 +139,94 @@ func TestDocCoverageRule(t *testing.T) {
 func TestIgnoreRequiresReason(t *testing.T) {
 	runFixture(t, "badignore", analysis.NondetSource,
 		expectation{Rule: "ignore-directive", Message: "malformed"})
+}
+
+// TestInterproceduralTaint checks the helper-laundering hole: the taint
+// fixture's deterministic package calls into a "helper" package whose
+// functions transitively reach time.Now or perform float-identity
+// comparisons, and each call site is a finding with a provenance chain,
+// while nondet-ok-annotated helpers and callers stay clean.
+func TestInterproceduralTaint(t *testing.T) {
+	runFixturePattern(t, "taint/...",
+		[]*analysis.Analyzer{analysis.NondetSource, analysis.FloatIdentity}, nil)
+}
+
+// TestTaintProvenanceChain pins the message format: the finding names the
+// source and the call chain through the helper.
+func TestTaintProvenanceChain(t *testing.T) {
+	pkgs, err := analysis.Load("", "./testdata/src/taint/...")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings := analysis.Run(pkgs, []*analysis.Analyzer{analysis.NondetSource})
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "time.Now") &&
+			strings.Contains(f.Message, "clockhelper.Tag → clockhelper.Stamp") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no finding carries the time.Now provenance chain; got:%s", renderFindings(findings))
+	}
+}
+
+// TestGoroutineDisciplineRule checks that raw go statements are findings
+// and spawn-ok-annotated pool functions are not.
+func TestGoroutineDisciplineRule(t *testing.T) {
+	runFixture(t, "goroutine", analysis.GoroutineDiscipline)
+}
+
+// TestHotpathRule compiles the hotpath fixture with escape analysis: with
+// an empty baseline the annotated function's allocation is a finding.
+func TestHotpathRule(t *testing.T) {
+	runFixture(t, "hotpath", analysis.Hotpath)
+}
+
+// TestHotpathBaselineSanctions checks the other half of the contract: a
+// baseline listing the observed escape silences the finding, and the
+// baseline builder records an explicit empty set for clean functions.
+func TestHotpathBaselineSanctions(t *testing.T) {
+	pkgs, err := analysis.Load("", "./testdata/src/hotpath")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	hp, err := analysis.HotpathBaseline(pkgs)
+	if err != nil {
+		t.Fatalf("collecting baseline: %v", err)
+	}
+	const grow = "repro/internal/analysis/testdata/src/hotpath.Grow"
+	const sum = "repro/internal/analysis/testdata/src/hotpath.Sum"
+	if len(hp[grow]) == 0 {
+		t.Fatalf("baseline for Grow is empty, want its make escape; got %v", hp)
+	}
+	if msgs, ok := hp[sum]; !ok || len(msgs) != 0 {
+		t.Errorf("baseline for Sum = %v, %v; want explicit empty set", msgs, ok)
+	}
+	findings := analysis.RunOpts(pkgs, []*analysis.Analyzer{analysis.Hotpath}, &analysis.Baseline{Hotpath: hp})
+	if len(findings) > 0 {
+		t.Errorf("findings against the self-derived baseline:%s", renderFindings(findings))
+	}
+}
+
+// TestSuppressionEdgeCases covers the directive corner cases: ignores
+// above multi-line statements (anchored to the finding's line, not the
+// statement), duplicated directives, directives inside generated files,
+// and malformed function annotations.
+func TestSuppressionEdgeCases(t *testing.T) {
+	runFixture(t, "suppress", analysis.NondetSource,
+		expectation{Rule: "ignore-directive", Message: `unknown altlint directive "frobnicate"`},
+		expectation{Rule: "ignore-directive", Message: "altlint:nondet-ok directive requires a reason"})
+}
+
+// TestFindingStringIncludesColumn pins the file:line:col rendering the
+// fixture matcher and editors rely on.
+func TestFindingStringIncludesColumn(t *testing.T) {
+	f := analysis.Finding{Rule: "nondet-source", Message: "m"}
+	f.Pos.Filename = "a.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	if got, want := f.String(), "a.go:3:7: nondet-source: m"; got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
 }

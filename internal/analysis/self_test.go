@@ -6,9 +6,11 @@ import (
 	"repro/internal/analysis"
 )
 
-// TestRepositoryIsClean runs every analyzer over the whole module and
-// asserts zero findings: the determinism contract holds on the tree as
-// committed, and CI fails the moment a new violation lands.
+// TestRepositoryIsClean runs every analyzer over the whole module —
+// against the checked-in hotpath escape baseline — and asserts zero
+// findings: the determinism contract holds on the tree as committed, and
+// CI fails the moment a new violation (or a new hot-path allocation)
+// lands.
 func TestRepositoryIsClean(t *testing.T) {
 	pkgs, err := analysis.Load("", "repro/...")
 	if err != nil {
@@ -17,7 +19,11 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded zero packages")
 	}
-	findings := analysis.Run(pkgs, analysis.All())
+	baseline, err := analysis.LoadBaseline("../../lint_baseline.json")
+	if err != nil {
+		t.Fatalf("loading hotpath baseline: %v", err)
+	}
+	findings := analysis.RunOpts(pkgs, analysis.All(), baseline)
 	for _, f := range findings {
 		t.Errorf("%s", f)
 	}

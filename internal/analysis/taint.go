@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the interprocedural taint propagation behind the
+// nondet-source and float-identity rules: a function anywhere in the
+// loaded package set that directly contains a nondeterministic source (or
+// a float-identity comparison) taints every function that transitively
+// calls it, and a call from a deterministic package to a tainted function
+// defined outside the deterministic set is a finding — the
+// helper-laundering hole the intraprocedural rules cannot see.
+//
+// Taint is cut by the function-level annotations `//altlint:nondet-ok
+// <reason>` and `//altlint:float-ok <reason>`: an annotated function is a
+// sanctioned sink (CLI flag parsing, wall-clock-only telemetry) and
+// neither taints nor propagates.
+
+// taintInfo records why a function is tainted: the root source and the
+// call chain (FuncInfo keys) from the function's first callee down to the
+// function that directly contains the source.
+type taintInfo struct {
+	source string
+	via    []string
+}
+
+// describe renders the taint provenance for a finding message.
+func (t *taintInfo) describe(calleeKey string) string {
+	chain := make([]string, 0, len(t.via)+1)
+	chain = append(chain, displayKey(calleeKey))
+	for _, k := range t.via {
+		chain = append(chain, displayKey(k))
+	}
+	return t.source + " (via " + strings.Join(chain, " → ") + ")"
+}
+
+// nondetTaint computes (once) the nondet taint set over the module.
+func (m *Module) nondetTaint() map[string]*taintInfo {
+	if m.nondet == nil {
+		m.nondet = m.propagate("nondet-ok", m.nondetDirectSource)
+	}
+	return m.nondet
+}
+
+// floatTaint computes (once) the float-identity taint set over the module.
+func (m *Module) floatTaint() map[string]*taintInfo {
+	if m.float == nil {
+		m.float = m.propagate("float-ok", m.floatDirectSource)
+	}
+	return m.float
+}
+
+// propagate seeds taint from each function's direct sources and walks it
+// up the reverse call graph to a fixed point. Worklist order is sorted and
+// breadth-first, so the recorded provenance chain of every tainted
+// function is deterministic (and shortest-first).
+func (m *Module) propagate(okVerb string, direct func(*FuncInfo) (string, bool)) map[string]*taintInfo {
+	tainted := make(map[string]*taintInfo)
+	var queue []string
+	for _, key := range m.keys {
+		fi := m.funcs[key]
+		if _, sanctioned := fi.Ann[okVerb]; sanctioned {
+			continue
+		}
+		if src, ok := direct(fi); ok {
+			tainted[key] = &taintInfo{source: src}
+			queue = append(queue, key)
+		}
+	}
+	rev := make(map[string][]string)
+	for _, key := range m.keys {
+		for _, cs := range m.funcs[key].Calls {
+			rev[cs.Key] = append(rev[cs.Key], key)
+		}
+	}
+	for _, callers := range rev {
+		sort.Strings(callers)
+	}
+	for i := 0; i < len(queue); i++ {
+		key := queue[i]
+		t := tainted[key]
+		for _, caller := range rev[key] {
+			if _, seen := tainted[caller]; seen {
+				continue
+			}
+			if _, sanctioned := m.funcs[caller].Ann[okVerb]; sanctioned {
+				continue
+			}
+			via := make([]string, 0, len(t.via)+1)
+			via = append(append(via, key), t.via...)
+			tainted[caller] = &taintInfo{source: t.source, via: via}
+			queue = append(queue, caller)
+		}
+	}
+	return tainted
+}
+
+// reportTaintedCalls reports, for every function of the pass's package,
+// calls to tainted functions defined outside the deterministic set. Calls
+// to tainted functions in deterministic packages are not re-reported: the
+// root violation is already a finding where that package meets the source.
+func reportTaintedCalls(pass *Pass, okVerb string, tainted map[string]*taintInfo, what string) {
+	for _, fi := range pass.Mod.funcsOf(pass.Pkg) {
+		if _, sanctioned := fi.Ann[okVerb]; sanctioned {
+			continue
+		}
+		for _, cs := range fi.Calls {
+			if cs.PkgPath == pass.Pkg.PkgPath || isDeterministic(cs.PkgPath) {
+				continue
+			}
+			t, ok := tainted[cs.Key]
+			if !ok {
+				continue
+			}
+			pass.Report(cs.Pos, "call into non-deterministic package %s: %s", cs.PkgPath,
+				what+" "+t.describe(cs.Key))
+		}
+	}
+}
+
+// nondetDirectSource reports whether fi's body directly contains a
+// nondeterministic source: a banned wall-clock/env/global-rand call, or an
+// order-sensitive unordered map iteration (the map-order criteria).
+func (m *Module) nondetDirectSource(fi *FuncInfo) (string, bool) {
+	info := fi.Pkg.Info
+	found := ""
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn := bannedCallee(sel, info); fn != nil {
+			found = fn.Pkg().Path() + "." + fn.Name()
+		}
+		return true
+	})
+	if found != "" {
+		return found, true
+	}
+	hit := false
+	forEachMapOrderHit(info, fi.Decl.Body, func(pos token.Pos, msg string) { hit = true })
+	if hit {
+		return "unordered map iteration feeding order-sensitive work", true
+	}
+	return "", false
+}
+
+// bannedCallee resolves sel to a banned package-level function, or nil.
+func bannedCallee(sel *ast.SelectorExpr, info *types.Info) *types.Func {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	byName, ok := bannedFuncs[fn.Pkg().Path()]
+	if !ok {
+		return nil
+	}
+	if _, ok := byName[fn.Name()]; !ok {
+		return nil
+	}
+	return fn
+}
+
+// floatDirectSource reports whether fi's body directly performs a
+// float-identity comparison or declares a float-keyed map, outside the
+// sanctioned zero-sentinel and tie-break-comparator idioms.
+func (m *Module) floatDirectSource(fi *FuncInfo) (string, bool) {
+	info := fi.Pkg.Info
+	allowed := m.tiebreakFor(fi.Pkg)
+	found := ""
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) && !allowed[n] &&
+				isFloat(info.TypeOf(n.X)) && isFloat(info.TypeOf(n.Y)) &&
+				!isZeroConst(info, n.X) && !isZeroConst(info, n.Y) {
+				found = "float " + n.Op.String() + " comparison"
+			}
+		case *ast.MapType:
+			if t := info.TypeOf(n.Key); t != nil && isFloat(t) {
+				found = "float-keyed map"
+			}
+		}
+		return true
+	})
+	return found, found != ""
+}

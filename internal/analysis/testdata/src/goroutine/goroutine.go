@@ -1,0 +1,34 @@
+// Package goroutine exercises the goroutine-discipline rule: raw go
+// statements are findings unless the enclosing function is annotated as a
+// sanctioned bounded-pool spawn site.
+package goroutine
+
+import "sync"
+
+// Fire spawns an unsanctioned goroutine.
+func Fire(done chan struct{}) {
+	go close(done) // want goroutine-discipline
+}
+
+// FireClosure spawns through a function literal — still a finding.
+func FireClosure(done chan struct{}) {
+	go func() { // want goroutine-discipline
+		close(done)
+	}()
+}
+
+// Pool is a sanctioned bounded fan-out: the annotation covers every go
+// statement in the function.
+//
+//altlint:spawn-ok fixture: bounded pool, results merge in index order
+func Pool(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+// Package suppress exercises the suppression edge cases: directives above
+// multi-line statements, duplicated directives, and malformed function
+// annotations.
+package suppress
+
+import (
+	"fmt"
+	"time"
+)
+
+// MultiLineAnchored shows a directive above a statement that spans several
+// lines: suppression is anchored to the finding's line, and the banned
+// call sits on the line right below the directive, so it is suppressed.
+func MultiLineAnchored() time.Time {
+	//altlint:ignore nondet-source fixture: anchored to the statement's first line
+	return time.Now().
+		Add(time.Second).
+		Truncate(time.Millisecond)
+}
+
+// MultiLineUnanchored shows the limit of the same idiom: the directive
+// covers only its own line and the next, and the banned call is two lines
+// below it, so the finding survives.
+func MultiLineUnanchored() string {
+	//altlint:ignore nondet-source fixture: too far above the flagged line
+	return fmt.Sprint(
+		time.Now()) // want nondet-source
+}
+
+// Duplicated carries the same directive on the line above and at the end
+// of the flagged line; both are well-formed, either alone suffices, and
+// neither is an error.
+func Duplicated() time.Time {
+	//altlint:ignore nondet-source fixture: duplicated above
+	return time.Now() //altlint:ignore nondet-source fixture: duplicated inline
+}
+
+// BadVerb carries an unknown function annotation, reported under
+// ignore-directive (see the extra expectation in rules_test.go).
+//
+//altlint:frobnicate whatever
+func BadVerb() int {
+	return 1
+}
+
+// MissingReason carries a reasonless nondet-ok, also reported. The
+// annotation governs interprocedural taint only: inside a deterministic
+// package the direct banned call is a finding either way, and only a
+// positional ignore directive could suppress it.
+//
+//altlint:nondet-ok
+func MissingReason() time.Time {
+	return time.Now() // want nondet-source
+}

@@ -1,0 +1,36 @@
+// Package clockhelper models an innocuous-looking utility package that
+// launders nondeterministic sources and float-identity comparisons behind
+// helpers. Its import path ends in "helper", which opts the fixture out of
+// the deterministic set: the interprocedural rules must catch calls INTO
+// it from a deterministic package, one or more hops above the source.
+package clockhelper
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() string {
+	return time.Now().Format(time.RFC3339)
+}
+
+// Tag wraps Stamp — taint must survive an extra hop.
+func Tag() string {
+	return "t-" + Stamp()
+}
+
+// SameFloat compares floats for identity.
+func SameFloat(a, b float64) bool {
+	return a != b
+}
+
+// Matches wraps SameFloat — float taint must survive an extra hop too.
+func Matches(a, b float64) bool {
+	return !SameFloat(a, b)
+}
+
+// SeedLabel is a sanctioned sink: the annotation cuts the taint, so a
+// deterministic caller is clean.
+//
+//altlint:nondet-ok fixture: label for log banners only; never feeds results
+func SeedLabel() string {
+	return Stamp()
+}

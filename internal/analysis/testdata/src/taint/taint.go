@@ -1,0 +1,31 @@
+// Package taint exercises the interprocedural nondet-source and
+// float-identity rules: this package is deterministic, and every call into
+// the tainted clockhelper package below must be a finding with the full
+// provenance chain, while calls to the sanctioned (annotated) helper stay
+// clean.
+package taint
+
+import "repro/internal/analysis/testdata/src/taint/clockhelper"
+
+// Run consumes the helper's wall-clock tag two hops from time.Now.
+func Run() string {
+	return clockhelper.Tag() // want nondet-source
+}
+
+// Compare consumes the helper's float-identity comparison.
+func Compare(a, b float64) bool {
+	return clockhelper.Matches(a, b) // want float-identity
+}
+
+// Labeled calls the sanctioned sink: the nondet-ok annotation cuts the
+// taint, so this is clean.
+func Labeled() string {
+	return clockhelper.SeedLabel()
+}
+
+// Sanctioned consumers can also annotate themselves.
+//
+//altlint:nondet-ok fixture: banner text only; never feeds results
+func Sanctioned() string {
+	return clockhelper.Tag()
+}

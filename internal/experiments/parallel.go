@@ -17,6 +17,8 @@ import (
 // execution, index-ordered merge — is what keeps every derived value
 // bit-identical to sequential execution regardless of worker count or
 // GOMAXPROCS.
+//
+//altlint:spawn-ok bounded worker pool; results merge in index order after return
 func parallelFor(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n

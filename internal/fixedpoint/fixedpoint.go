@@ -135,9 +135,9 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 	// once per distinct argument pair. Cache hits are bit-identical to
 	// recomputation, so the converged fixed point is unchanged.
 	cache := erlang.NewCache()
-	var started time.Time
+	var elapsed func() time.Duration
 	if opts.OnIteration != nil {
-		started = time.Now()
+		elapsed = iterClock()
 	}
 	iter := 0
 	for ; iter < opts.MaxIterations; iter++ {
@@ -177,7 +177,7 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 		}
 		copy(b, next)
 		if opts.OnIteration != nil {
-			opts.OnIteration(iter, worst, time.Since(started))
+			opts.OnIteration(iter, worst, elapsed())
 		}
 		if worst <= opts.Tolerance {
 			iter++
@@ -213,4 +213,14 @@ func Solve(g *graph.Graph, m *traffic.Matrix, table *policy.Table, opts Options)
 		res.NetworkBlocking = lost / total
 	}
 	return res, nil
+}
+
+// iterClock starts a wall-clock stopwatch for the OnIteration telemetry
+// callback. It is the package's only nondeterministic source: the elapsed
+// time is reported to the caller's progress hook and never feeds a result.
+//
+//altlint:nondet-ok wall-clock telemetry for the OnIteration hook only; never feeds results
+func iterClock() func() time.Duration {
+	started := time.Now()
+	return func() time.Duration { return time.Since(started) }
 }

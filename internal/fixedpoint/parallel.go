@@ -8,6 +8,8 @@ import "sync"
 // writes only slice elements its own chunk owns, so the array produced by a
 // parallel sweep is bit-identical to the sequential one. workers <= 1 (or a
 // single chunk) runs fn inline on the calling goroutine.
+//
+//altlint:spawn-ok bounded chunk fan-out; each chunk owns disjoint slice ranges
 func parallelLinks(n, workers int, fn func(lo, hi int)) {
 	if workers > n {
 		workers = n

@@ -9,6 +9,8 @@ package obs
 // expensive to build on a hot path, gate the whole instrumentation block
 // behind a plain boolean computed once (`instrumented := sink != nil`) and
 // still emit through Emit inside it.
+//
+//altlint:hotpath
 func Emit(s Sink, e Event) {
 	if s != nil {
 		s.Event(e)

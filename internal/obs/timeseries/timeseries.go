@@ -225,6 +225,8 @@ func New(opt Options) (*Folder, error) {
 // Event implements obs.Sink: it folds one event into the series. The hot
 // path is lock-free — it touches only producer-owned state; the lock is
 // taken when a window closes or a run starts or ends.
+//
+//altlint:hotpath
 func (f *Folder) Event(e obs.Event) {
 	f.fold(&e)
 }
@@ -248,6 +250,8 @@ func FoldEvents(events []obs.Event, opt Options) ([]RunSeries, error) {
 // fold dispatches one event on the producer goroutine. The event is passed
 // by pointer to spare the hot path a second copy of the (large) Event
 // struct; fold never retains or mutates it.
+//
+//altlint:hotpath
 func (f *Folder) fold(e *obs.Event) {
 	if e.Kind == obs.KindRunStart {
 		f.endRun()
@@ -289,6 +293,8 @@ func (f *Folder) fold(e *obs.Event) {
 // flushCounts folds the per-kind tallies into the open window's named
 // fields and zeroes them. Idempotent between events; called at window close
 // and before run-end emptiness checks.
+//
+//altlint:hotpath
 func (f *Folder) flushCounts() {
 	c := &f.counts
 	var total int64

@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/erlang"
 	"repro/internal/graph"
@@ -120,10 +121,37 @@ func MinLossPrimaries(g *graph.Graph, m *traffic.Matrix, opts Options) (*Result,
 		}
 	}
 
+	// Every accumulation below walks the pairs (and each pair's paths) in
+	// sorted order, never map order: the per-link float sums and the final
+	// weighted-path slices must be bit-identical from run to run. The pair
+	// set is fixed after initialization, so the sorted index is built once.
+	pairs := make([][2]graph.NodeID, 0, len(flows))
+	for pair := range flows {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	sortedEntries := func(perPair map[string]*flowEntry) []*flowEntry {
+		keys := make([]string, 0, len(perPair))
+		for k := range perPair {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]*flowEntry, len(keys))
+		for i, k := range keys {
+			out[i] = perPair[k]
+		}
+		return out
+	}
+
 	linkLoads := func() []float64 {
 		loads := make([]float64, g.NumLinks())
-		for _, perPair := range flows {
-			for _, fe := range perPair {
+		for _, pair := range pairs {
+			for _, fe := range sortedEntries(flows[pair]) {
 				for _, id := range fe.path.Links {
 					loads[id] += fe.flow
 				}
@@ -144,7 +172,7 @@ func MinLossPrimaries(g *graph.Graph, m *traffic.Matrix, opts Options) (*Result,
 		// All-or-nothing assignment on cheapest paths.
 		target := make([]float64, g.NumLinks())
 		aonPaths := make(map[[2]graph.NodeID]paths.Path, len(flows))
-		for pair := range flows {
+		for _, pair := range pairs {
 			p, ok := cheapestPath(g, pair[0], pair[1], w)
 			if !ok {
 				return nil, fmt.Errorf("optimize: no path %d→%d", pair[0], pair[1])
@@ -171,7 +199,8 @@ func MinLossPrimaries(g *graph.Graph, m *traffic.Matrix, opts Options) (*Result,
 			break
 		}
 		// Apply the step to path flows.
-		for pair, perPair := range flows {
+		for _, pair := range pairs {
+			perPair := flows[pair]
 			for _, fe := range perPair {
 				fe.flow *= 1 - gamma
 			}
@@ -194,11 +223,11 @@ func MinLossPrimaries(g *graph.Graph, m *traffic.Matrix, opts Options) (*Result,
 		Cost:       cost,
 		Iterations: iter,
 	}
-	for pair, perPair := range flows {
+	for _, pair := range pairs {
 		d := m.Demand(pair[0], pair[1])
 		var wps []policy.WeightedPath
 		kept := 0.0
-		for _, fe := range perPair {
+		for _, fe := range sortedEntries(flows[pair]) {
 			frac := fe.flow / d
 			if frac < opts.MinFraction {
 				continue
@@ -219,6 +248,8 @@ func MinLossPrimaries(g *graph.Graph, m *traffic.Matrix, opts Options) (*Result,
 
 // cheapestPath is Dijkstra over up links with nonnegative weights,
 // deterministic tie-breaking by node ID.
+//
+//altlint:float-ok nd == dist is the deterministic equal-cost tie-break, not an identity test
 func cheapestPath(g *graph.Graph, src, dst graph.NodeID, w []float64) (paths.Path, bool) {
 	n := g.NumNodes()
 	dist := make([]float64, n)

@@ -54,6 +54,8 @@ type Flat struct {
 func (f *Flat) NumRows() int { return len(f.RowOff) - 1 }
 
 // Row returns the link ids of row r.
+//
+//altlint:hotpath
 func (f *Flat) Row(r int32) []graph.LinkID { return f.Links[f.RowOff[r]:f.RowOff[r+1]] }
 
 // Compiled binds a Flat to one policy's admission rule: which protection

@@ -160,6 +160,8 @@ func (l *loop) nextEpochs() (dep, plan float64) {
 // bifurcated weighted draw), alternate order, first-blocking-link loss
 // attribution, tie-breaks against departures and plan events — reproduces
 // the interpreted engine bit for bit.
+//
+//altlint:hotpath
 func (l *loop) runCompiled(comp *routetable.Compiled) {
 	var fe fastEngine
 	fe.reset(l.st, comp)

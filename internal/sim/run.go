@@ -214,6 +214,8 @@ func (h *departureHeap) len() int { return len(h.ents) }
 
 // push schedules a teardown of path p at epoch at for the call identified
 // by m, storing the path in the pool.
+//
+//altlint:hotpath
 func (h *departureHeap) push(at float64, p paths.Path, m depMeta) {
 	var s int32
 	if n := len(h.free); n > 0 {
@@ -238,6 +240,8 @@ func (h *departureHeap) push(at float64, p paths.Path, m depMeta) {
 // reference is stored in the entry itself and the pool is never touched;
 // with failure events pending the path is pooled like any other, so
 // extraction sees meta and survives table recompiles.
+//
+//altlint:hotpath
 func (h *departureHeap) pushRow(at float64, off, n int32, m depMeta) {
 	if h.needMeta {
 		h.push(at, paths.Path{Links: h.base[off : off+n]}, m)
@@ -250,6 +254,8 @@ func (h *departureHeap) pushRow(at float64, off, n int32, m depMeta) {
 // up, hole form): the comparisons are against the pushed entry's epoch at
 // every level, exactly as when it is swapped upward, so the final layout
 // is identical.
+//
+//altlint:hotpath
 func (h *departureHeap) siftUp(e depEntry) {
 	h.ents = append(h.ents, e)
 	ents := h.ents
@@ -276,6 +282,8 @@ func (h *departureHeap) path(e depEntry) paths.Path {
 
 // pop removes and returns the earliest scheduled teardown. The returned
 // path is only valid until the slot is reused by the next push.
+//
+//altlint:hotpath
 func (h *departureHeap) pop() (at float64, p paths.Path) {
 	n := len(h.ents) - 1
 	top := h.ents[0]
@@ -301,6 +309,8 @@ func (h *departureHeap) siftDown(i int) {
 // children up — container/heap's down with the same comparisons against
 // e's epoch at every level, so the final layout matches the swap form
 // bit-for-bit.
+//
+//altlint:hotpath
 func (h *departureHeap) siftDownFrom(i int, e depEntry) {
 	ents := h.ents
 	n := len(ents)
@@ -618,6 +628,8 @@ func (l *loop) drainTo(epoch float64) {
 // heap comparison is performed in the exact order of the general form, so
 // the two drains are bit-identical; only call overhead and re-loads of
 // loop fields differ.
+//
+//altlint:hotpath
 func (l *loop) drainFast(epoch float64) {
 	h := &l.deps
 	occ := l.occ
@@ -872,6 +884,8 @@ func (l *loop) finish() {
 // rows scanned against precomputed occupancy thresholds — that is
 // bit-identical to the interpreted engine; everything else falls back to
 // Policy.Route transparently.
+//
+//altlint:hotpath
 func Run(cfg Config) (*Result, error) {
 	if cfg.Graph == nil || cfg.Policy == nil || (cfg.Trace == nil && cfg.Source == nil) {
 		return nil, fmt.Errorf("sim: incomplete config")

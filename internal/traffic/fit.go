@@ -36,6 +36,8 @@ type FitOptions struct {
 // targets is indexed by LinkID; links with target < 0 are unconstrained.
 // FitLinkLoads returns an error if the iteration fails to converge, which in
 // practice signals an infeasible target vector.
+//
+//altlint:float-ok f != 1 skips a rescale by exactly 1, bit-identical to applying it
 func FitLinkLoads(g *graph.Graph, pr *PrimaryRouting, targets []float64, opts FitOptions) (*Matrix, error) {
 	n := g.NumNodes()
 	if len(targets) != g.NumLinks() {
