@@ -208,6 +208,15 @@ func NSFNet() *Graph { return netmodel.NSFNet() }
 // CompleteGraph returns a fully-connected duplex network on n nodes.
 func CompleteGraph(n, capacity int) *Graph { return netmodel.Complete(n, capacity) }
 
+// Metro returns a synthetic metropolitan-area topology: pops fully-meshed
+// point-of-presence cliques of popSize nodes joined in a gateway ring by
+// duplex trunks. Built for large-network regimes (and as the sharded
+// engine's natural benchmark: pair with MetroLocalityMatrix so most load
+// stays pop-local).
+func Metro(pops, popSize, intraCapacity, trunkCapacity int) *Graph {
+	return netmodel.Metro(pops, popSize, intraCapacity, trunkCapacity)
+}
+
 // Traffic.
 
 // NewMatrix returns an all-zero n×n traffic matrix.
@@ -216,6 +225,13 @@ func NewMatrix(n int) *Matrix { return traffic.NewMatrix(n) }
 // UniformMatrix returns a matrix with every off-diagonal entry set to
 // demand Erlangs (the §4.1 symmetric workload).
 func UniformMatrix(n int, demand float64) *Matrix { return traffic.Uniform(n, demand) }
+
+// MetroLocalityMatrix returns the locality-weighted workload for a
+// Metro(pops, popSize, …) topology: intra Erlangs for every ordered pair
+// within one pop, inter Erlangs across pops.
+func MetroLocalityMatrix(pops, popSize int, intra, inter float64) *Matrix {
+	return traffic.MetroLocality(pops, popSize, intra, inter)
+}
 
 // NSFNetNominalMatrix returns the reconstructed nominal NSFNet traffic
 // matrix (Load=10 of Figures 6/7), fitted so its induced primary link loads

@@ -35,6 +35,8 @@
 //	capacity      extension: headroom search at a 1% grade of service
 //	availability  extension: blocking and lost-to-failure vs random outage rate
 //	custom        run the three-policy comparison on a -scenario JSON file
+//	metro         three-policy comparison on the synthetic metro topology
+//	              (-pops, -popsize; -loads intra[,inter] Erlangs)
 //	export-scenario  dump the NSFNet scenario as JSON (template for custom)
 //	dot           Graphviz DOT of the NSFNet model (or a -scenario file)
 //	verify        fast self-check of the headline reproduction claims
@@ -42,10 +44,14 @@
 //	bound         Erlang bound values for both paper networks
 //	all           run everything above with the paper's settings
 //
-// Common flags: -seeds, -warmup, -horizon, -loads, -H, -parallel. The
-// -parallel flag caps the worker goroutines of every parallel stage (seed
-// runs, sweep points, fixed-point links); 0 uses GOMAXPROCS, 1 forces
-// sequential execution, and every setting prints identical output.
+// Common flags: -seeds, -warmup, -horizon, -loads, -H, -parallel, -shards.
+// The -parallel flag caps the worker goroutines of every parallel stage
+// (seed runs, sweep points, fixed-point links); 0 uses GOMAXPROCS, 1 forces
+// sequential execution, and every setting prints identical output. The
+// -shards flag instead parallelizes within each simulation run, splitting
+// its event loop across conservative shards (internal/sim sharded engine);
+// 0 uses GOMAXPROCS, 1 (the default) keeps the sequential engine, and every
+// setting produces bit-identical results and event streams.
 //
 // Failure flags: -rates (availability outage-rate grid), -mtbf/-mttr inject
 // seeded random outages into custom runs (availability always injects; its
@@ -66,6 +72,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -96,6 +103,9 @@ func main() {
 	csvPath := fs.String("csv", "", "also write sweep data as CSV to this file (quad/nsfnet/h6/ottkrishnan)")
 	scenario := fs.String("scenario", "", "scenario JSON file (custom)")
 	parallel := fs.Int("parallel", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	shards := fs.Int("shards", 1, "conservative event-loop shards per simulation run (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	pops := fs.Int("pops", 25, "points of presence in the metro topology (metro)")
+	popSize := fs.Int("popsize", 4, "nodes per point of presence (metro)")
 	ratesFlag := fs.String("rates", "", "comma-separated per-link outage rates (availability; default grid)")
 	mtbf := fs.Float64("mtbf", 0, "mean time between link failures, holding times (custom; 0 = no random outages)")
 	mttr := fs.Float64("mttr", 0.5, "mean link repair time, holding times (availability/custom)")
@@ -106,6 +116,10 @@ func main() {
 		os.Exit(2)
 	}
 	p := experiments.SimParams{Seeds: *seeds, Warmup: *warmup, Horizon: *horizon, Parallelism: *parallel}
+	if *shards == 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	p.Shards = *shards
 	obsFinish = of.setup(&p)
 	defer obsFinish()
 	loads, err := parseLoads(*loadsFlag)
@@ -212,6 +226,10 @@ func main() {
 		fmt.Print(av)
 	case "custom":
 		runCustom(*scenario, *hFlag, failureOpts{
+			planPath: *failuresPath, mtbf: *mtbf, mttr: *mttr, mode: failover,
+		}, p)
+	case "metro":
+		runMetro(*pops, *popSize, *hFlag, loads, failureOpts{
 			planPath: *failuresPath, mtbf: *mtbf, mttr: *mttr, mode: failover,
 		}, p)
 	case "export-scenario":
@@ -387,9 +405,10 @@ func usage() {
 experiments: fig2 quad table1 nsfnet h6 failures skew minloss ottkrishnan
              mitragibbens cellular robust signaling multirate fixedpoint
              overflow ramp dalfar hvariants focused peakedness generalize
-             retrials insensitivity capacity availability custom
+             retrials insensitivity capacity availability custom metro
              export-scenario dot verify report bound all
 flags: -seeds N -warmup T -horizon T -loads a,b,c -H n -csv file -parallel N
+       -shards N -pops N -popsize N
        -rates a,b,c -mtbf T -mttr T -failures plan.json -failover drop|reroute
        -events stream.jsonl -metrics out.json -pprof addr -progress 2s
        -window T`)
@@ -443,6 +462,35 @@ func runCustom(path string, h int, fo failureOpts, p experiments.SimParams) {
 	if h == 0 {
 		h = scen.H
 	}
+	runComparison(scen.Name, g, m, h, fo, p)
+}
+
+// runMetro executes the same three-policy comparison on the synthetic
+// metro topology (netmodel.Metro) under its locality-weighted workload:
+// the named large-network scenario, and — with -shards — the natural
+// input for the sharded engine (pop cliques rarely straddle the
+// partition's cuts, so almost all traffic is shard-local).
+func runMetro(pops, popSize, h int, loads []float64, fo failureOpts, p experiments.SimParams) {
+	intra, inter := 6.0, 0.01
+	if len(loads) > 0 {
+		intra = loads[0]
+	}
+	if len(loads) > 1 {
+		inter = loads[1]
+	}
+	g := netmodel.Metro(pops, popSize, 30, 60)
+	m := traffic.MetroLocality(pops, popSize, intra, inter)
+	if h == 0 {
+		h = 2
+	}
+	name := fmt.Sprintf("metro %d pops × %d nodes (intra %g E, inter %g E)", pops, popSize, intra, inter)
+	runComparison(name, g, m, h, fo, p)
+}
+
+// runComparison is the shared body of the custom and metro experiments:
+// derive a scheme at H=h and compare the three core policies under common
+// random numbers, optionally with failure injection.
+func runComparison(name string, g *graph.Graph, m *traffic.Matrix, h int, fo failureOpts, p experiments.SimParams) {
 	scheme, err := core.New(g, m, core.Options{H: h})
 	if err != nil {
 		fatal(err)
@@ -469,7 +517,7 @@ func runCustom(path string, h int, fo failureOpts, p experiments.SimParams) {
 		}
 	}
 	fmt.Printf("scenario %q: %d nodes, %d links, %.1f Erlangs offered, H=%d\n",
-		scen.Name, g.NumNodes(), g.NumLinks(), m.Total(), scheme.H)
+		name, g.NumNodes(), g.NumLinks(), m.Total(), scheme.H)
 	if fo.active() {
 		src := fmt.Sprintf("plan %s", fo.planPath)
 		if scripted == nil {
@@ -498,7 +546,7 @@ func runCustom(path string, h int, fo failureOpts, p experiments.SimParams) {
 				Graph: g, Policy: pol, Source: src, Warmup: p.Warmup,
 				Failures: plan, Failover: fo.mode,
 				Sink: p.Sink, OccupancyEvents: p.OccupancyEvents,
-				WindowLength: p.WindowLength,
+				WindowLength: p.WindowLength, Shards: p.Shards,
 			})
 			if err != nil {
 				fatal(err)

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomConnected builds a random connected duplex graph: a spanning
+// ring plus extra chords, with capacities in [1, 100].
+func randomConnected(rng *rand.Rand, n int) *Graph {
+	g := New()
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		a, b := NodeID(i), NodeID((i+1)%n)
+		if g.LinkBetween(a, b) != InvalidLink { // n=2: the ring would double up
+			continue
+		}
+		if _, _, err := g.AddDuplex(a, b, 1+rng.Intn(100)); err != nil {
+			panic(err)
+		}
+	}
+	chords := rng.Intn(2 * n)
+	for i := 0; i < chords; i++ {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a == b || g.LinkBetween(a, b) != InvalidLink {
+			continue
+		}
+		if _, _, err := g.AddDuplex(a, b, 1+rng.Intn(100)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// TestPartitionProperties checks the three contract properties on random
+// graphs: every node lands in exactly one shard in [0,k); shard sizes are
+// balanced to within the ceil(n/k) bound (max−min ≤ 1); and the result is
+// a pure function of the graph (identical on a repeat call and on a deep
+// clone).
+func TestPartitionProperties(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		g := randomConnected(rng, n)
+		for _, k := range []int{1, 2, 3, 4, 7, n} {
+			if k > n {
+				continue
+			}
+			owner := Partition(g, k)
+			if len(owner) != n {
+				t.Fatalf("seed %d n=%d k=%d: len(owner)=%d", seed, n, k, len(owner))
+			}
+			sizes := make([]int, k)
+			for v, s := range owner {
+				if s < 0 || int(s) >= k {
+					t.Fatalf("seed %d n=%d k=%d: node %d in shard %d outside [0,%d)", seed, n, k, v, s, k)
+				}
+				sizes[s]++
+			}
+			minSz, maxSz := n, 0
+			for _, sz := range sizes {
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+			}
+			if maxSz-minSz > 1 {
+				t.Errorf("seed %d n=%d k=%d: shard sizes %v unbalanced (max−min > 1)", seed, n, k, sizes)
+			}
+			if maxSz > (n+k-1)/k {
+				t.Errorf("seed %d n=%d k=%d: shard size %d exceeds ceil(n/k)=%d", seed, n, k, maxSz, (n+k-1)/k)
+			}
+			again := Partition(g, k)
+			cloned := Partition(g.Clone(), k)
+			for v := range owner {
+				if owner[v] != again[v] || owner[v] != cloned[v] {
+					t.Fatalf("seed %d n=%d k=%d: nondeterministic assignment at node %d (%d, %d, %d)",
+						seed, n, k, v, owner[v], again[v], cloned[v])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionSingleShard pins the k=1 identity and the panic contract.
+func TestPartitionSingleShard(t *testing.T) {
+	g := buildTriangle(t)
+	owner := Partition(g, 1)
+	for v, s := range owner {
+		if s != 0 {
+			t.Errorf("k=1: node %d in shard %d, want 0", v, s)
+		}
+	}
+	for _, bad := range []int{0, -1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partition(g, %d) did not panic", bad)
+				}
+			}()
+			Partition(g, bad)
+		}()
+	}
+}
+
+// TestPartitionPrefersLightCut checks the greedy objective on a dumbbell:
+// two cliques of heavy trunks joined by one thin bridge must split at the
+// bridge, never through a clique.
+func TestPartitionPrefersLightCut(t *testing.T) {
+	g := New()
+	g.AddNodes(8)
+	heavy, thin := 100, 1
+	for _, clique := range [][]NodeID{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				if _, _, err := g.AddDuplex(clique[i], clique[j], heavy); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if _, _, err := g.AddDuplex(0, 4, thin); err != nil {
+		t.Fatal(err)
+	}
+	owner := Partition(g, 2)
+	for _, clique := range [][]NodeID{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for _, v := range clique[1:] {
+			if owner[v] != owner[clique[0]] {
+				t.Fatalf("clique split across shards: owners %v", owner)
+			}
+		}
+	}
+	if got, want := CrossingCapacity(g, owner), int64(2*thin); got != want {
+		t.Errorf("CrossingCapacity = %d, want %d", got, want)
+	}
+}

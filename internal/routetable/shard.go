@@ -1,0 +1,45 @@
+package routetable
+
+import "fmt"
+
+// ShardSignature classifies every ordered pair of a flattened table for
+// the sharded simulation engine. nodeOwner maps each node to its shard
+// (graph.Partition output); linkOwner maps each link to the shard that
+// owns its occupancy counter (by convention the shard of the link's From
+// node). The returned owner slice (length NumNodes²) gives each pair's
+// designated shard: the owner of the first link of its first route row,
+// or nodeOwner[origin] for a pair with no rows or only zero-hop rows.
+// cross[p] reports whether any link of any row of pair p lives on a
+// different shard than owner[p] — such pairs touch more than one shard's
+// occupancy and must be admitted at an epoch barrier rather than inside a
+// shard's private loop.
+//
+// The signature is computed once per compiled table, off the hot path;
+// the per-call cost of sharding is a slice index on the precomputed
+// result.
+func (f *Flat) ShardSignature(nodeOwner, linkOwner []int32) (owner []int32, cross []bool) {
+	if len(nodeOwner) != f.NumNodes {
+		panic(fmt.Errorf("routetable: nodeOwner length %d, table has %d nodes", len(nodeOwner), f.NumNodes))
+	}
+	if len(linkOwner) != f.NumLinks {
+		panic(fmt.Errorf("routetable: linkOwner length %d, table has %d links", len(linkOwner), f.NumLinks))
+	}
+	n := f.NumNodes
+	owner = make([]int32, n*n)
+	cross = make([]bool, n*n)
+	for p := 0; p < n*n; p++ {
+		own := nodeOwner[p/n] // origin's shard: default for rowless pairs
+		first := true
+		for r := f.PairOff[p]; r < f.PairOff[p+1]; r++ {
+			for _, id := range f.Links[f.RowOff[r]:f.RowOff[r+1]] {
+				if first {
+					own, first = linkOwner[id], false
+				} else if linkOwner[id] != own {
+					cross[p] = true
+				}
+			}
+		}
+		owner[p] = own
+	}
+	return owner, cross
+}

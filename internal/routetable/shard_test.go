@@ -1,0 +1,91 @@
+package routetable
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestShardSignature builds a 3-node table by hand and checks the owner
+// and crossing classification for every pair shape: rowless, zero-hop,
+// single-shard, and cut-crossing.
+func TestShardSignature(t *testing.T) {
+	// Links 0,1 owned by shard 0; links 2,3 by shard 1. Nodes 0,1 on
+	// shard 0, node 2 on shard 1.
+	nodeOwner := []int32{0, 0, 1}
+	linkOwner := []int32{0, 0, 1, 1}
+	b := NewBuilder(3, 4, 0)
+	row := func(ids ...graph.LinkID) []graph.LinkID { return ids }
+	// Pair (0,0): rowless.
+	b.StartPair()
+	// Pair (0,1): primary on shard-0 links only.
+	b.StartPair()
+	b.Primary(row(0), 1)
+	b.Alternate(row(0, 1))
+	// Pair (0,2): primary on shard 0, alternate crossing to shard 1.
+	b.StartPair()
+	b.Primary(row(1), 1)
+	b.Alternate(row(1, 2))
+	// Pair (1,0): zero-hop primary (empty row).
+	b.StartPair()
+	b.Primary(row(), 1)
+	// Pair (1,1): rowless.
+	b.StartPair()
+	// Pair (1,2): all rows on shard 1.
+	b.StartPair()
+	b.Primary(row(2), 1)
+	b.Alternate(row(3))
+	// Pair (2,0): crossing in the primary itself.
+	b.StartPair()
+	b.Primary(row(3, 0), 1)
+	// Pair (2,1): single shard-1 link.
+	b.StartPair()
+	b.Primary(row(2), 1)
+	// Pair (2,2): rowless.
+	b.StartPair()
+	f := b.Finish()
+	if f == nil {
+		t.Fatal("builder returned nil")
+	}
+
+	owner, cross := f.ShardSignature(nodeOwner, linkOwner)
+	wantOwner := []int32{
+		0, // (0,0) rowless → nodeOwner[0]
+		0, // (0,1) first link 0
+		0, // (0,2) first link 1
+		0, // (1,0) zero-hop → nodeOwner[1]
+		0, // (1,1) rowless
+		1, // (1,2) first link 2
+		1, // (2,0) first link 3
+		1, // (2,1) first link 2
+		1, // (2,2) rowless → nodeOwner[2]
+	}
+	wantCross := []bool{
+		false, false, true, // (0,2) alternate reaches shard 1
+		false, false, false,
+		true, // (2,0) primary spans both shards
+		false, false,
+	}
+	for p := range wantOwner {
+		if owner[p] != wantOwner[p] {
+			t.Errorf("pair %d: owner = %d, want %d", p, owner[p], wantOwner[p])
+		}
+		if cross[p] != wantCross[p] {
+			t.Errorf("pair %d: cross = %v, want %v", p, cross[p], wantCross[p])
+		}
+	}
+
+	for _, bad := range []func(){
+		func() { f.ShardSignature(nodeOwner[:2], linkOwner) },
+		func() { f.ShardSignature(nodeOwner, linkOwner[:3]) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("ShardSignature accepted mismatched owner lengths")
+				}
+			}()
+			bad()
+		}()
+	}
+}

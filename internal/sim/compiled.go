@@ -154,6 +154,111 @@ func (l *loop) nextEpochs() (dep, plan float64) {
 	return dep, plan
 }
 
+// admitOne performs one arrival's compiled admission — primary selection
+// (including the bifurcated weighted draw), alternate scan, booking with
+// the per-link lazy flush, and loss attribution — exactly as the inline
+// body of runCompiled does, against the loop's own slices. The sharded
+// engine's per-shard loops and barrier coordinator call it per call;
+// runCompiled keeps its fused copy so the sequential hot path is not
+// perturbed. Every floating-point operation, comparison, and counter
+// update happens in the same per-link order as the inline form, so the
+// two are bit-identical.
+//
+//altlint:hotpath
+func (l *loop) admitOne(fe *fastEngine, c Call, pairIdx int, measured bool, win *WindowStats) {
+	occ := l.occ
+	util := l.util[:len(occ)]
+	last := l.last[:len(occ)]
+	warm := l.cfg.Warmup
+
+	f := fe.comp
+	var start, alt0, end int32
+	inRange := uint(int(c.Origin)) < uint(f.NumNodes) && uint(int(c.Dest)) < uint(f.NumNodes)
+	if inRange {
+		p := int(c.Origin)*f.NumNodes + int(c.Dest)
+		start, end = f.PairOff[p], f.PairOff[p+1]
+		alt0 = f.AltStart[p]
+	}
+	if !inRange || alt0 == start {
+		l.admittedRow(c, 0, 0, false, measured)
+		return
+	}
+
+	pr := start
+	if alt0-start > 1 {
+		u := xrand.Uniform01(f.SelectorSeed, int64(c.ID))
+		pr = alt0 - 1
+		for r := start; r < alt0; r++ {
+			if u < f.PrimCum[r] {
+				pr = r
+				break
+			}
+		}
+	}
+	t0 := fe.thresh[0]
+	primOff := f.RowOff[pr]
+	prim := f.Links[primOff:f.RowOff[pr+1]]
+	blockIdx := -1
+	for i, id := range prim {
+		if occ[id] > t0[id] {
+			blockIdx = i
+			break
+		}
+	}
+	if blockIdx < 0 {
+		for _, id := range prim {
+			lo := last[id]
+			if lo < warm {
+				lo = warm
+			}
+			if o := occ[id]; c.Arrival > lo && o != 0 {
+				util[id] += (c.Arrival - lo) * float64(o)
+			}
+			last[id] = c.Arrival
+			occ[id]++
+		}
+		l.admittedRow(c, primOff, int32(len(prim)), false, measured)
+		return
+	}
+	if !f.NoAlternates {
+		for r := alt0; r < end; r++ {
+			ts := fe.thresh[fe.defAlt]
+			if fe.altSets != nil {
+				ts = fe.thresh[fe.altSets[r]]
+			}
+			altOff := f.RowOff[r]
+			alt := f.Links[altOff:f.RowOff[r+1]]
+			good := true
+			for _, id := range alt {
+				if occ[id] > ts[id] {
+					good = false
+					break
+				}
+			}
+			if good {
+				for _, id := range alt {
+					lo := last[id]
+					if lo < warm {
+						lo = warm
+					}
+					if o := occ[id]; c.Arrival > lo && o != 0 {
+						util[id] += (c.Arrival - lo) * float64(o)
+					}
+					last[id] = c.Arrival
+					occ[id]++
+				}
+				l.admittedRow(c, altOff, int32(len(alt)), true, measured)
+				return
+			}
+		}
+	}
+	blockAt := graph.InvalidLink
+	if measured {
+		blockAt = prim[blockIdx]
+	}
+	l.blocked(c, pairIdx, measured, win, blockAt)
+}
+
 // runCompiled is the fast engine: arrivals are consumed in micro-batches
 // and admitted by scanning the policy's flattened route rows against the
 // packed thresholds. Every decision — primary selection (including the
@@ -168,6 +273,7 @@ func (l *loop) runCompiled(comp *routetable.Compiled) {
 	l.deps.base = comp.Links
 	occ := l.st.occ
 	util := l.util[:len(occ)]
+	last := l.last[:len(occ)]
 	warm := l.cfg.Warmup
 	nextDep, nextPlan := l.nextEpochs()
 
@@ -233,28 +339,13 @@ func (l *loop) runCompiled(comp *routetable.Compiled) {
 				}
 				nextDep, nextPlan = l.nextEpochs()
 			}
-			// accumulate(c.Arrival) with the window bounds in registers; the
-			// horizon clip is a no-op here (the arrival is inside the
-			// horizon), so dt is bit-identical to the general form.
-			lo := l.lastT
-			if lo < warm {
-				lo = warm
-			}
-			if c.Arrival > lo {
-				dt := c.Arrival - lo
-				for id, o := range occ {
-					if o != 0 {
-						util[id] += dt * float64(o)
-					}
-				}
-			}
-			l.lastT = c.Arrival
 			pairIdx := int(c.Origin)*l.numNodes + int(c.Dest)
 			measured, win := l.offered(c, pairIdx)
 
 			if !fe.ok {
 				// Mid-run recompile failed; identical decisions via Route.
 				if p, alternate, ok := l.cfg.Policy.Route(l.st, c); ok {
+					l.flushPath(p, c.Arrival)
 					l.st.Occupy(p)
 					l.admitted(c, p, alternate, measured)
 					if dep := c.Arrival + c.Holding; dep < nextDep {
@@ -319,8 +410,19 @@ func (l *loop) runCompiled(comp *routetable.Compiled) {
 			if blockIdx < 0 {
 				// The scan just proved occ <= C−1 on every (up) hop, so the
 				// direct increments cannot overbook; down links never pass
-				// (threshold −1), matching the interpreted admission.
+				// (threshold −1), matching the interpreted admission. Each
+				// hop is flushed at the arrival epoch before its increment —
+				// flushLink with the horizon clip elided (the arrival is
+				// inside the horizon), bit-identical to the general form.
 				for _, id := range prim {
+					lo := last[id]
+					if lo < warm {
+						lo = warm
+					}
+					if o := occ[id]; c.Arrival > lo && o != 0 {
+						util[id] += (c.Arrival - lo) * float64(o)
+					}
+					last[id] = c.Arrival
 					occ[id]++
 				}
 				l.admittedRow(c, primOff, int32(len(prim)), false, measured)
@@ -347,6 +449,14 @@ func (l *loop) runCompiled(comp *routetable.Compiled) {
 					}
 					if good {
 						for _, id := range alt {
+							lo := last[id]
+							if lo < warm {
+								lo = warm
+							}
+							if o := occ[id]; c.Arrival > lo && o != 0 {
+								util[id] += (c.Arrival - lo) * float64(o)
+							}
+							last[id] = c.Arrival
 							occ[id]++
 						}
 						l.admittedRow(c, altOff, int32(len(alt)), true, measured)

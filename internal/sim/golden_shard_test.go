@@ -1,0 +1,203 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// shardGoldenCounts is the shard grid the invariance suite sweeps. Shards=1
+// must take the sequential path verbatim; 8 exceeds quadrangle's node count
+// and exercises the clamp.
+var shardGoldenCounts = []int{1, 2, 4, 8}
+
+// TestGoldenShardInvariance is the sharded engine's determinism contract:
+// for every golden topology and policy, a run at any shard count and any
+// GOMAXPROCS is bit-identical to the sequential engine — full Result
+// (counters, per-pair maps, utilization float bits, windows) and the
+// complete event stream down to the JSONL bytes the CLI would write.
+func TestGoldenShardInvariance(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, sc := range goldenScenarios(t)[:2] { // quadrangle-90E, ring6
+		policies := goldenPolicies(t, sc)
+		for pname, pol := range policies {
+			// Table-driven policies run the sharded engine; ottkrishnan does
+			// not compile and must fall back to the sequential engine — the
+			// invariance contract below covers both sides of that dispatch.
+			seed := int64(1)
+			trace := sim.GenerateTrace(sc.m, sc.horizon, seed)
+			base := sim.Config{
+				Graph: sc.g, Policy: pol, Trace: trace,
+				Warmup: sc.warmup, WindowLength: 1.0,
+			}
+
+			runtime.GOMAXPROCS(1)
+			wantSink := &recordSink{}
+			cfg := base
+			cfg.Sink = wantSink
+			want, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: baseline: %v", sc.name, pname, err)
+			}
+			wantJSONL := jsonlBytes(t, wantSink.events)
+
+			for _, shards := range shardGoldenCounts {
+				for _, gmp := range []int{1, 8} {
+					runtime.GOMAXPROCS(gmp)
+					label := fmt.Sprintf("%s/%s/shards=%d/gomaxprocs=%d", sc.name, pname, shards, gmp)
+					sink := &recordSink{}
+					cfg := base
+					cfg.Shards = shards
+					cfg.Sink = sink
+					got, err := sim.Run(cfg)
+					if err != nil {
+						t.Fatalf("%s: run: %v", label, err)
+					}
+					requireSameResult(t, label, got, want)
+					requireSameEvents(t, label, sink.events, wantSink.events)
+					if gotJSONL := jsonlBytes(t, sink.events); !bytes.Equal(gotJSONL, wantJSONL) {
+						t.Fatalf("%s: JSONL bytes diverge from sequential baseline", label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenShardFailureInvariance runs the canonical failure scenario
+// (generated outages plus scripted duplex outage, ring6) in both failover
+// modes across shard counts and GOMAXPROCS settings: failure teardown,
+// rerouting, and the LinkDown/LinkUp event groups must merge to the exact
+// sequential stream.
+func TestGoldenShardFailureInvariance(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, mode := range []sim.FailoverMode{sim.FailoverDrop, sim.FailoverReroute} {
+		runtime.GOMAXPROCS(1)
+		wantSink := &recordSink{}
+		cfg := failureGoldenConfig(t, mode, 3)
+		cfg.Sink = wantSink
+		want, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", mode, err)
+		}
+		if want.LostToFailure == 0 && want.FailureRerouted == 0 {
+			t.Fatalf("%s: no call was torn down or rerouted; scenario too quiet", mode)
+		}
+		wantJSONL := jsonlBytes(t, wantSink.events)
+
+		for _, shards := range []int{2, 4} {
+			for _, gmp := range []int{1, 8} {
+				runtime.GOMAXPROCS(gmp)
+				label := fmt.Sprintf("%s/shards=%d/gomaxprocs=%d", mode, shards, gmp)
+				sink := &recordSink{}
+				cfg := failureGoldenConfig(t, mode, 3)
+				cfg.Shards = shards
+				cfg.Sink = sink
+				got, err := sim.Run(cfg)
+				if err != nil {
+					t.Fatalf("%s: run: %v", label, err)
+				}
+				requireSameResult(t, label, got, want)
+				requireSameEvents(t, label, sink.events, wantSink.events)
+				if gotJSONL := jsonlBytes(t, sink.events); !bytes.Equal(gotJSONL, wantJSONL) {
+					t.Fatalf("%s: JSONL bytes diverge from sequential baseline", label)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenShardOccupancyEvents covers the per-link occupancy sample
+// stream under sharding: samples attach to their admission or departure
+// block and must interleave exactly as the sequential engine emits them.
+func TestGoldenShardOccupancyEvents(t *testing.T) {
+	sc := goldenScenarios(t)[0]
+	pol := goldenPolicies(t, sc)["controlled"]
+	for _, seed := range goldenSeeds[:2] {
+		trace := sim.GenerateTrace(sc.m, sc.horizon, seed)
+		wantSink := &recordSink{}
+		want, err := sim.Run(sim.Config{
+			Graph: sc.g, Policy: pol, Trace: trace,
+			Warmup: sc.warmup, Sink: wantSink, OccupancyEvents: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4} {
+			label := fmt.Sprintf("%s/occupancy/seed=%d/shards=%d", sc.name, seed, shards)
+			sink := &recordSink{}
+			got, err := sim.Run(sim.Config{
+				Graph: sc.g, Policy: pol, Trace: trace,
+				Warmup: sc.warmup, Sink: sink, OccupancyEvents: true,
+				Shards: shards,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, label, got, want)
+			requireSameEvents(t, label, sink.events, wantSink.events)
+		}
+	}
+}
+
+// TestGoldenShardStreamSplit covers the ID-free fast arrival path: an
+// uninstrumented, plan-less run whose source is a Stream splits per-pair
+// substreams across shards (no materialization) and must still reproduce
+// the sequential Result bit for bit.
+func TestGoldenShardStreamSplit(t *testing.T) {
+	for _, sc := range goldenScenarios(t)[:2] {
+		for pname, pol := range goldenPolicies(t, sc) {
+			for _, seed := range goldenSeeds[:2] {
+				src, err := sim.NewStream(sc.m, sc.horizon, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := sim.Run(sim.Config{
+					Graph: sc.g, Policy: pol, Source: src, Warmup: sc.warmup,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{2, 4, 8} {
+					label := fmt.Sprintf("%s/%s/seed=%d/shards=%d", sc.name, pname, seed, shards)
+					src, err := sim.NewStream(sc.m, sc.horizon, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sim.Run(sim.Config{
+						Graph: sc.g, Policy: pol, Source: src, Warmup: sc.warmup,
+						Shards: shards,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					requireSameResult(t, label, got, want)
+				}
+			}
+		}
+	}
+}
+
+// countKindShard asserts the sharded engine emits window closures: a
+// windowed, sharded, instrumented run must carry WindowClosed events (the
+// merge re-synthesizes them; an empty stream would pass byte-equality
+// vacuously if the baseline were broken the same way).
+func TestGoldenShardWindowsPresent(t *testing.T) {
+	sc := goldenScenarios(t)[1]
+	pol := goldenPolicies(t, sc)["controlled"]
+	sink := &recordSink{}
+	_, err := sim.Run(sim.Config{
+		Graph: sc.g, Policy: pol, Trace: sim.GenerateTrace(sc.m, sc.horizon, 1),
+		Warmup: sc.warmup, WindowLength: 1.0, Sink: sink, Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countKind(sink.events, obs.KindWindowClosed); n == 0 {
+		t.Fatal("sharded windowed run emitted no WindowClosed events")
+	}
+}

@@ -218,9 +218,12 @@ func referenceRun(cfg sim.Config) (*sim.Result, error) {
 
 	deps := &refHeap{}
 	heap.Init(deps)
-	lastT := 0.0
-	accumulate := func(now float64) {
-		lo := lastT
+	// Per-link lazy occupancy integral: each link's utilization sum is
+	// flushed only at that link's own occupancy changes (and once at the
+	// horizon), mirroring the engine's flushLink/flushPath.
+	last := make([]float64, cfg.Graph.NumLinks())
+	flushLink := func(id graph.LinkID, now float64) {
+		lo := last[id]
 		if lo < cfg.Warmup {
 			lo = cfg.Warmup
 		}
@@ -229,12 +232,16 @@ func referenceRun(cfg sim.Config) (*sim.Result, error) {
 			hi = horizon
 		}
 		if hi > lo {
-			dt := hi - lo
-			for id := range res.LinkTimeUtil {
-				res.LinkTimeUtil[id] += dt * float64(st.Occupancy(graph.LinkID(id)))
+			if o := st.Occupancy(id); o != 0 {
+				res.LinkTimeUtil[id] += (hi - lo) * float64(o)
 			}
 		}
-		lastT = now
+		last[id] = now
+	}
+	flushPath := func(p paths.Path, now float64) {
+		for _, id := range p.Links {
+			flushLink(id, now)
+		}
 	}
 
 	if sink != nil {
@@ -247,7 +254,7 @@ func referenceRun(cfg sim.Config) (*sim.Result, error) {
 		}
 		for deps.Len() > 0 && (*deps)[0].at <= c.Arrival {
 			d := heap.Pop(deps).(refDeparture)
-			accumulate(d.at)
+			flushPath(d.path, d.at)
 			st.Release(d.path)
 			if sink != nil {
 				sink.Event(obs.Event{
@@ -260,7 +267,6 @@ func referenceRun(cfg sim.Config) (*sim.Result, error) {
 				drained++
 			}
 		}
-		accumulate(c.Arrival)
 
 		measured := c.Arrival >= cfg.Warmup
 		pairKey := [2]graph.NodeID{c.Origin, c.Dest}
@@ -282,6 +288,7 @@ func referenceRun(cfg sim.Config) (*sim.Result, error) {
 		}
 		p, alternate, ok := cfg.Policy.Route(st, c)
 		if ok {
+			flushPath(p, c.Arrival)
 			st.Occupy(p)
 			heap.Push(deps, refDeparture{at: c.Arrival + c.Holding, path: p})
 			if measured {
@@ -328,7 +335,7 @@ func referenceRun(cfg sim.Config) (*sim.Result, error) {
 	}
 	for deps.Len() > 0 && (*deps)[0].at <= horizon {
 		d := heap.Pop(deps).(refDeparture)
-		accumulate(d.at)
+		flushPath(d.path, d.at)
 		st.Release(d.path)
 		if sink != nil {
 			sink.Event(obs.Event{
@@ -340,7 +347,9 @@ func referenceRun(cfg sim.Config) (*sim.Result, error) {
 			}
 		}
 	}
-	accumulate(horizon)
+	for id := range res.LinkTimeUtil {
+		flushLink(graph.LinkID(id), horizon)
+	}
 	window := horizon - cfg.Warmup
 	for id := range res.LinkTimeUtil {
 		res.LinkTimeUtil[id] /= window

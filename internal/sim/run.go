@@ -69,6 +69,16 @@ type Config struct {
 	// LostToFailure; FailoverReroute grants each one re-admission attempt
 	// over the surviving topology first.
 	Failover FailoverMode
+	// Shards, when greater than 1, partitions the network over a balanced
+	// minimum-crossing-capacity cut (graph.Partition) and runs one event
+	// loop per shard, exchanging cross-shard work at deterministic epoch
+	// barriers (conservative PDES — see DESIGN.md §15). Results and event
+	// streams are bit-identical to the sequential engines for any shard
+	// count. Sharding requires the compiled fast path (a TableCompiler
+	// policy) and no TopologyHook; configurations outside that envelope,
+	// and Shards values of 0 or 1, run the sequential engines unchanged.
+	// The count is clamped to the node count.
+	Shards int
 	// TopologyHook, when non-nil, runs after every failure/repair epoch's
 	// state changes and before affected calls are torn down or rerouted —
 	// the attachment point for online scheme adaptation (see
@@ -385,6 +395,12 @@ type loop struct {
 	pi      int
 	horizon float64
 
+	// extraHeaps lists other loops' departure heaps whose in-flight calls a
+	// plan group must also tear down — the sharded coordinator names every
+	// worker heap here (workers are parked when plan groups run). Nil on
+	// sequential runs.
+	extraHeaps []*departureHeap
+
 	numNodes                 int
 	pairOffered, pairBlocked []int64
 
@@ -395,9 +411,16 @@ type loop struct {
 	windows       []WindowStats
 	closedWindows int
 
-	lastT float64
-	util  []float64
-	occ   []int
+	// util/last/occ implement the per-link lazy occupancy integral: each
+	// link's utilization sum is flushed only when that link's occupancy
+	// changes (plus once at the horizon), never at unrelated events. The
+	// split points of a link's floating-point sum therefore depend only on
+	// the link's own admission/departure epochs — an order invariant across
+	// the interpreted, compiled, and sharded engines — and the per-event
+	// cost is O(hops) instead of O(links).
+	util []float64
+	last []float64
+	occ  []int
 }
 
 // sampleOccupancy reports each changed link's new occupancy.
@@ -438,9 +461,15 @@ func (l *loop) windowOf(t float64) *WindowStats {
 	return &l.windows[k]
 }
 
-func (l *loop) accumulate(now float64) {
-	// Integrate occupancy over [lastT, now) clipped to the window.
-	lo := l.lastT
+// flushLink integrates one link's occupancy over [last[id], now) clipped to
+// the measurement window and advances the link's clock. It runs immediately
+// before every occupancy change of the link and once at the horizon.
+// Skipping idle links is exact: adding dt·0 = +0 is the floating-point
+// identity on these non-negative sums.
+//
+//altlint:hotpath
+func (l *loop) flushLink(id graph.LinkID, now float64) {
+	lo := l.last[id]
 	if lo < l.cfg.Warmup {
 		lo = l.cfg.Warmup
 	}
@@ -449,18 +478,21 @@ func (l *loop) accumulate(now float64) {
 		hi = l.horizon
 	}
 	if hi > lo {
-		dt := hi - lo
-		occ := l.occ
-		util := l.util[:len(occ)]
-		for id, o := range occ {
-			// Skipping idle links is exact: adding dt·0 = +0 is the
-			// floating-point identity on these non-negative sums.
-			if o != 0 {
-				util[id] += dt * float64(o)
-			}
+		if o := l.occ[id]; o != 0 {
+			l.util[id] += (hi - lo) * float64(o)
 		}
 	}
-	l.lastT = now
+	l.last[id] = now
+}
+
+// flushPath flushes every link of a path at the given epoch — the
+// prelude to booking or releasing the path.
+//
+//altlint:hotpath
+func (l *loop) flushPath(p paths.Path, now float64) {
+	for _, id := range p.Links {
+		l.flushLink(id, now)
+	}
 }
 
 // applyPlanGroup consumes every plan event sharing the front event's
@@ -470,7 +502,6 @@ func (l *loop) accumulate(now float64) {
 func (l *loop) applyPlanGroup() {
 	st, sink := l.st, l.sink
 	at := l.plan[l.pi].Epoch
-	l.accumulate(at)
 	var downed []graph.LinkID
 	for l.pi < len(l.plan) && math.Float64bits(l.plan[l.pi].Epoch) == math.Float64bits(at) {
 		ev := l.plan[l.pi]
@@ -512,6 +543,9 @@ func (l *loop) applyPlanGroup() {
 		return false
 	}
 	torn := l.deps.extract(hitsDowned)
+	for _, h := range l.extraHeaps {
+		torn = append(torn, h.extract(hitsDowned)...)
+	}
 	if len(torn) == 0 {
 		return
 	}
@@ -524,6 +558,7 @@ func (l *loop) applyPlanGroup() {
 	// occupancy.
 	sort.Slice(torn, func(i, j int) bool { return torn[i].meta.id < torn[j].meta.id })
 	for _, tc := range torn {
+		l.flushPath(tc.path, at)
 		st.Release(tc.path)
 		if l.occupancyEvents {
 			l.sampleOccupancy(at, tc.path)
@@ -541,6 +576,7 @@ func (l *loop) applyPlanGroup() {
 				Arrival: at, Holding: tc.at - at,
 			}
 			if p, alternate, ok := l.cfg.Policy.Route(st, c); ok {
+				l.flushPath(p, at)
 				st.Occupy(p)
 				l.deps.push(tc.at, p, tc.meta)
 				if measured {
@@ -586,7 +622,7 @@ func (l *loop) applyPlanGroup() {
 
 // departed processes one popped teardown: utilization, release, event.
 func (l *loop) departed(at float64, path paths.Path) {
-	l.accumulate(at)
+	l.flushPath(path, at)
 	l.st.Release(path)
 	if l.instrumented {
 		obs.Emit(l.sink, obs.Event{
@@ -623,10 +659,10 @@ func (l *loop) drainTo(epoch float64) {
 }
 
 // drainFast is drainTo's uninstrumented plan-less form: the same pop →
-// integrate → release sequence as pop+departed, fused into one loop with
-// the clock and slices held in locals. Every floating-point operation and
-// heap comparison is performed in the exact order of the general form, so
-// the two drains are bit-identical; only call overhead and re-loads of
+// flush → release sequence as pop+departed, fused into one loop with the
+// window bounds and slices held in locals. Every floating-point operation
+// and heap comparison is performed in the exact order of the general form,
+// so the two drains are bit-identical; only call overhead and re-loads of
 // loop fields differ.
 //
 //altlint:hotpath
@@ -634,8 +670,8 @@ func (l *loop) drainFast(epoch float64) {
 	h := &l.deps
 	occ := l.occ
 	util := l.util[:len(occ)]
+	lastF := l.last[:len(occ)]
 	warm, hor := l.cfg.Warmup, l.horizon
-	lastT := l.lastT
 	base := h.base
 	for len(h.ents) > 0 {
 		e := h.ents[0]
@@ -649,27 +685,9 @@ func (l *loop) drainFast(epoch float64) {
 		if n > 0 {
 			h.siftDownFrom(0, last)
 		}
-		// Integrate occupancy over [lastT, e.at) clipped to the window —
-		// accumulate's body with the clock in a register.
-		lo := lastT
-		if lo < warm {
-			lo = warm
-		}
-		hi := e.at
-		if hi > hor {
-			hi = hor
-		}
-		if hi > lo {
-			dt := hi - lo
-			for id, o := range occ {
-				if o != 0 {
-					util[id] += dt * float64(o)
-				}
-			}
-		}
-		lastT = e.at
-		// Release the departed path (State.Release inlined; the idle-link
-		// panic guard is preserved).
+		// Flush each link of the departed path at the teardown epoch —
+		// flushLink's body with the bounds in registers — then release
+		// (State.Release inlined; the idle-link panic guard is preserved).
 		var links []graph.LinkID
 		if e.ref >= 0 {
 			links = base[e.ref : e.ref+e.n]
@@ -678,13 +696,25 @@ func (l *loop) drainFast(epoch float64) {
 			links = h.pool[e.n].Links
 		}
 		for _, id := range links {
-			if occ[id] <= 0 {
+			lo := lastF[id]
+			if lo < warm {
+				lo = warm
+			}
+			hi := e.at
+			if hi > hor {
+				hi = hor
+			}
+			o := occ[id]
+			if hi > lo && o != 0 {
+				util[id] += (hi - lo) * float64(o)
+			}
+			lastF[id] = e.at
+			if o <= 0 {
 				panic(fmt.Errorf("sim: releasing idle link %d", id))
 			}
-			occ[id]--
+			occ[id] = o - 1
 		}
 	}
-	l.lastT = lastT
 }
 
 // drainPlanTo is drainTo's general form while failure/repair events are
@@ -807,10 +837,10 @@ func (l *loop) runInterpreted(src ArrivalSource) {
 			return
 		}
 		l.drainTo(c.Arrival)
-		l.accumulate(c.Arrival)
 		pairIdx := int(c.Origin)*l.numNodes + int(c.Dest)
 		measured, win := l.offered(c, pairIdx)
 		if p, alternate, ok := l.cfg.Policy.Route(l.st, c); ok {
+			l.flushPath(p, c.Arrival)
 			l.st.Occupy(p)
 			l.admitted(c, p, alternate, measured)
 			continue
@@ -832,7 +862,9 @@ func (l *loop) runInterpreted(src ArrivalSource) {
 // horizon, materializes the per-pair maps, and normalizes utilization.
 func (l *loop) finish() {
 	l.drainTo(l.horizon)
-	l.accumulate(l.horizon)
+	for id := range l.occ {
+		l.flushLink(graph.LinkID(id), l.horizon)
+	}
 	res, numNodes := l.res, l.numNodes
 	// Materialize the dense per-pair counters into the public maps,
 	// presized to their exact population.
@@ -915,6 +947,17 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Sharded dispatch: a multi-shard request on a compiled, hook-less
+	// configuration runs on the conservative-PDES engine (shard.go), which
+	// is bit-identical to the sequential path below. Everything else —
+	// including Shards <= 1 — falls through unchanged, so a single-shard
+	// run is the sequential engine, not a one-worker barrier loop.
+	if k := shardCount(cfg); k > 1 && cfg.TopologyHook == nil {
+		if comp, _, ok := compileFor(cfg.Policy, cfg.Graph); ok {
+			return runSharded(cfg, comp, plan, horizon, seed, k)
+		}
+	}
+
 	st := NewState(cfg.Graph)
 	res := &Result{
 		Policy:       cfg.Policy.Name(),
@@ -941,6 +984,7 @@ func Run(cfg Config) (*Result, error) {
 		sink:         cfg.Sink,
 		instrumented: cfg.Sink != nil,
 		util:         res.LinkTimeUtil,
+		last:         make([]float64, cfg.Graph.NumLinks()),
 		occ:          st.occ,
 	}
 	l.occupancyEvents = l.instrumented && cfg.OccupancyEvents

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// This file is the back half of the sharded engine (shard.go): once the
+// barrier protocol has run to completion, the k+1 private loops are folded
+// into one Result and — on instrumented runs — the k+1 private event
+// buffers are merged into the exact byte stream the sequential engine
+// would have emitted.
+
+// finish flushes the shared occupancy integral at the horizon, sums the
+// private scalar counters, materializes the per-pair maps from the shared
+// dense matrices, merges the window tallies, and (when instrumented)
+// replays the merged event stream to the configured sink.
+func (sh *sharded) finish(res *Result, bufs []*obs.Buffer) {
+	co := sh.co
+	for id := range co.occ {
+		co.flushLink(graph.LinkID(id), sh.horizon)
+	}
+	loops := make([]*loop, 0, len(sh.workers)+1)
+	for _, w := range sh.workers {
+		loops = append(loops, w.l)
+	}
+	loops = append(loops, co)
+	// Scalar counters are integers, so this sum is order-exact; the shared
+	// dense arrays (LostAtLink, LinkTimeUtil, pair counters) were written
+	// element-disjointly and need no merging at all.
+	var windows []WindowStats
+	for _, l := range loops {
+		r := l.res
+		res.Offered += r.Offered
+		res.Accepted += r.Accepted
+		res.Blocked += r.Blocked
+		res.PrimaryAccepted += r.PrimaryAccepted
+		res.AlternateAccepted += r.AlternateAccepted
+		res.CarriedHopCount += r.CarriedHopCount
+		res.LostToFailure += r.LostToFailure
+		res.FailureRerouted += r.FailureRerouted
+		// Window bounds are recomputed by the exact float expression
+		// windowOf uses, so the merged series is bitwise the sequential one.
+		for len(windows) < len(l.windows) {
+			start := sh.cfg.Warmup + float64(len(windows))*sh.cfg.WindowLength
+			windows = append(windows, WindowStats{Start: start, End: start + sh.cfg.WindowLength})
+		}
+		for i := range l.windows {
+			windows[i].Offered += l.windows[i].Offered
+			windows[i].Blocked += l.windows[i].Blocked
+		}
+	}
+	numNodes := co.numNodes
+	no, nb := 0, 0
+	for _, v := range co.pairOffered {
+		if v > 0 {
+			no++
+		}
+	}
+	for _, v := range co.pairBlocked {
+		if v > 0 {
+			nb++
+		}
+	}
+	res.PerPairOffered = make(map[[2]graph.NodeID]int64, no)
+	res.PerPairBlocked = make(map[[2]graph.NodeID]int64, nb)
+	for i := 0; i < numNodes; i++ {
+		for j := 0; j < numNodes; j++ {
+			if v := co.pairOffered[i*numNodes+j]; v > 0 {
+				res.PerPairOffered[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = v
+			}
+			if v := co.pairBlocked[i*numNodes+j]; v > 0 {
+				res.PerPairBlocked[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(j)}] = v
+			}
+		}
+	}
+	res.Span = sh.horizon - sh.cfg.Warmup
+	for id := range res.LinkTimeUtil {
+		res.LinkTimeUtil[id] /= res.Span
+	}
+	res.Windows = windows
+	if bufs != nil {
+		sh.mergeEvents(res, windows, bufs)
+	}
+}
+
+// evBlock is one indivisible span of a private event buffer: a starter
+// event (arrival, departure, or failure-plan group) plus the attachment
+// events the engine emits under it, keyed by the starter's position in the
+// pinned global order.
+type evBlock struct {
+	key    evKey
+	events []obs.Event
+}
+
+// segmentBlocks cuts one buffer's event sequence into keyed blocks.
+//
+// Arrival blocks start at CallOffered and take the exact (epoch, origin,
+// dest) key the admission order uses. Departure blocks start at
+// CallDeparted; plan blocks start at LinkDown/LinkUp, with every further
+// event of the same bit-equal epoch joining the same block (applyPlanGroup
+// consumes a whole epoch group atomically). Those two classes key
+// same-epoch ties by (buffer, sequence) — see the measure-zero caveat in
+// shard.go. CallAdmitted, CallBlocked, CallRerouted, CallLostFailure, and
+// LinkOccupancy attach to the open block. WindowClosed is dropped here and
+// re-emitted canonically by the merge: a worker closes its windows on its
+// own arrivals, so only the merged stream knows the true closure points
+// and final counts.
+func segmentBlocks(events []obs.Event, buf int) []evBlock {
+	var blocks []evBlock
+	seq := int32(0)
+	push := func(k evKey, e obs.Event) {
+		blocks = append(blocks, evBlock{key: k, events: []obs.Event{e}})
+		seq++
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindCallOffered:
+			push(evKey{t: e.Time, class: classArr, o: int32(e.Origin), d: int32(e.Dest)}, e)
+		case obs.KindCallDeparted:
+			push(evKey{t: e.Time, class: classDep, o: int32(buf), d: seq}, e)
+		case obs.KindLinkDown, obs.KindLinkUp:
+			if n := len(blocks); n > 0 {
+				if b := &blocks[n-1]; b.key.class == classPlan &&
+					math.Float64bits(b.key.t) == math.Float64bits(e.Time) {
+					b.events = append(b.events, e)
+					continue
+				}
+			}
+			push(evKey{t: e.Time, class: classPlan, o: int32(buf), d: seq}, e)
+		case obs.KindWindowClosed:
+			// Re-emitted canonically by the merge.
+		default:
+			if len(blocks) == 0 {
+				panic(fmt.Errorf("sim: shard buffer %d starts with attachment event kind %v", buf, e.Kind))
+			}
+			b := &blocks[len(blocks)-1]
+			b.events = append(b.events, e)
+		}
+	}
+	return blocks
+}
+
+// mergeEvents replays the k+1 private buffers to the configured sink as
+// one stream in the pinned global order — byte-identical to the
+// sequential engine's emission. WindowClosed events are re-synthesized at
+// their canonical points (immediately before the first arrival of a later
+// window, with the merged final counts — exact, because every arrival of
+// an earlier window precedes that point in merged order), and each
+// CallOffered's Drained field is recomputed as the number of merged
+// CallDeparted events since the previous CallOffered, which is precisely
+// the sequential counter's definition.
+func (sh *sharded) mergeEvents(res *Result, windows []WindowStats, bufs []*obs.Buffer) {
+	sink := sh.cfg.Sink
+	blocks := make([][]evBlock, len(bufs))
+	cur := make([]int, len(bufs))
+	for i, b := range bufs {
+		blocks[i] = segmentBlocks(b.Events(), i)
+	}
+	closed := 0
+	emitClosures := func(upTo int) {
+		for ; closed < upTo; closed++ {
+			w := windows[closed]
+			obs.Emit(sink, obs.Event{
+				Kind: obs.KindWindowClosed, Time: w.End, Window: closed,
+				Offered: w.Offered, Blocked: w.Blocked,
+			})
+		}
+	}
+	drained := 0
+	warm, wlen := sh.cfg.Warmup, sh.cfg.WindowLength
+	for {
+		best := -1
+		var bk evKey
+		for i := range blocks {
+			if cur[i] >= len(blocks[i]) {
+				continue
+			}
+			if k := blocks[i][cur[i]].key; best < 0 || keyLess(k, bk) {
+				best, bk = i, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		blk := blocks[best][cur[best]]
+		cur[best]++
+		if blk.key.class == classArr && wlen > 0 && blk.key.t >= warm {
+			if widx := int((blk.key.t - warm) / wlen); widx > closed {
+				emitClosures(widx)
+			}
+		}
+		for _, e := range blk.events {
+			switch e.Kind {
+			case obs.KindCallDeparted:
+				drained++
+			case obs.KindCallOffered:
+				e.Drained = drained
+				drained = 0
+			}
+			obs.Emit(sink, e)
+		}
+	}
+	emitClosures(len(windows))
+	obs.Emit(sink, obs.Event{
+		Kind: obs.KindRunEnd, Time: sh.horizon,
+		Offered: res.Offered, Blocked: res.Blocked,
+	})
+}

@@ -100,6 +100,30 @@ func Uniform(n int, demand float64) *Matrix {
 	return m
 }
 
+// MetroLocality returns the locality-weighted workload for a
+// netmodel.Metro topology of pops×popSize nodes: every ordered pair
+// inside one pop demands intra Erlangs, every cross-pop pair inter. With
+// inter ≪ intra the cross-pop pairs — the only calls the sharded engine
+// must synchronize on — are a small fraction of the load, mirroring how
+// metropolitan traffic concentrates inside a point of presence.
+func MetroLocality(pops, popSize int, intra, inter float64) *Matrix {
+	n := pops * popSize
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := inter
+			if i/popSize == j/popSize {
+				d = intra
+			}
+			m.SetDemand(graph.NodeID(i), graph.NodeID(j), d)
+		}
+	}
+	return m
+}
+
 // PrimaryRouting holds one primary path per ordered O-D pair.
 type PrimaryRouting struct {
 	n     int
