@@ -69,6 +69,18 @@ profile:
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkRun(Bare|Instrumented|Timeseries)$$' -benchtime 1s -count 6 .
 
+# Control-plane decision throughput: the altd client swarm against the
+# serialized decision loop, direct and over HTTP (see BENCH_altd.json).
+bench-altd:
+	$(GO) test -run '^$$' -bench BenchmarkAltdDecisions -benchmem -count 3 -benchtime 2s ./internal/ctrl/
+
+# The daemon smoke: boot altd from a scenario file, replay a deterministic
+# request swarm over HTTP, cross-check counters against an offline sim.Run,
+# and shut down gracefully (the CI altd job).
+altd-smoke:
+	$(GO) test -v -run TestDaemonSmoke ./cmd/altd/
+	$(GO) test -run 'TestReplayEquivalence|TestServerHTTPWire|TestServerConcurrentSwarmSerializes' ./internal/ctrl/
+
 # Short fuzz pass over the Erlang-B / Equation-15 invariants (CI smoke; the
 # checked-in corpora under internal/erlang/testdata/fuzz always run in
 # plain `go test`).

@@ -218,12 +218,18 @@ func All() []*Analyzer {
 // deterministicPackages lists the import paths whose computations feed
 // results and therefore fall under the determinism contract (DESIGN.md §9).
 var deterministicPackages = map[string]bool{
-	"repro/internal/sim":            true,
-	"repro/internal/erlang":         true,
-	"repro/internal/core":           true,
-	"repro/internal/policy":         true,
-	"repro/internal/routetable":     true,
-	"repro/internal/experiments":    true,
+	"repro/internal/sim":         true,
+	"repro/internal/erlang":      true,
+	"repro/internal/core":        true,
+	"repro/internal/policy":      true,
+	"repro/internal/routetable":  true,
+	"repro/internal/experiments": true,
+	// ctrl serves live admissions through the same compiled tables the
+	// simulator replays; a nondeterministic decision path would break the
+	// replay-equivalence contract (DESIGN.md §16). Its clock is injected
+	// and its one goroutine (the decision loop) carries a spawn-ok
+	// annotation with the join protocol.
+	"repro/internal/ctrl":           true,
 	"repro/internal/obs":            true,
 	"repro/internal/obs/timeseries": true,
 	// benchguard gates merges on its verdicts; a nondeterministic guard

@@ -93,6 +93,16 @@ func (a *AdaptiveScheme) Hook() func(at float64, st *sim.State) {
 // service (its dead paths simply never admit), a missing one would drop
 // everything.
 func (a *AdaptiveScheme) rederive(st *sim.State) {
+	if m, ok := a.derived(st); ok {
+		a.dyn.Swap(m.table, m.prot)
+	}
+}
+
+// derived returns the scheme derivation for the state's current down-link
+// signature, computing and memoizing it on first sight. ok is false when
+// the degraded topology is disconnected or route building fails — callers
+// keep the current scheme in that case.
+func (a *AdaptiveScheme) derived(st *sim.State) (adapted, bool) {
 	n := a.base.Graph.NumLinks()
 	sig := make([]byte, n)
 	for id := 0; id < n; id++ {
@@ -101,19 +111,18 @@ func (a *AdaptiveScheme) rederive(st *sim.State) {
 		}
 	}
 	if m, ok := a.memo[string(sig)]; ok {
-		a.dyn.Swap(m.table, m.prot)
-		return
+		return m, true
 	}
 	g := a.base.Graph.Clone()
 	for id := 0; id < n; id++ {
 		g.SetDown(graph.LinkID(id), sig[id] != 0)
 	}
 	if !g.Connected() {
-		return
+		return adapted{}, false
 	}
 	table, err := policy.BuildMinHop(g, a.base.H)
 	if err != nil {
-		return
+		return adapted{}, false
 	}
 	loads := expectedPrimaryLoads(g, a.base.Matrix, table)
 	caps := make([]int, n)
@@ -121,6 +130,35 @@ func (a *AdaptiveScheme) rederive(st *sim.State) {
 		caps[id] = g.Link(graph.LinkID(id)).Capacity
 	}
 	prot := erlang.ProtectionLevels(loads, caps, table.MaxAltHops, a.cache)
-	a.memo[string(sig)] = adapted{table: table, prot: prot}
-	a.dyn.Swap(table, prot)
+	m := adapted{table: table, prot: prot}
+	a.memo[string(sig)] = m
+	return m, true
+}
+
+// RederiveFromLoads is the estimate-epoch generalization of the
+// failure-epoch hook: it re-derives protection levels (Equation 15, shared
+// Erlang cache) from externally supplied per-link loads — the live
+// estimator's Λ̂ rather than the matrix's a-priori Λ — on the route table
+// for the state's current down-link signature, and swaps them in. The
+// route table itself still follows topology (memoized per signature); only
+// the protection derivation uses the estimated loads, which change every
+// epoch and are therefore not memoized. Returns false (keeping the current
+// scheme) when loads has the wrong length or the degraded topology has no
+// usable derivation.
+func (a *AdaptiveScheme) RederiveFromLoads(st *sim.State, loads []float64) bool {
+	n := a.base.Graph.NumLinks()
+	if len(loads) != n {
+		return false
+	}
+	m, ok := a.derived(st)
+	if !ok {
+		return false
+	}
+	caps := make([]int, n)
+	for id := range caps {
+		caps[id] = a.base.Graph.Link(graph.LinkID(id)).Capacity
+	}
+	prot := erlang.ProtectionLevels(loads, caps, m.table.MaxAltHops, a.cache)
+	a.dyn.Swap(m.table, prot)
+	return true
 }

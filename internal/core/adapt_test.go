@@ -3,8 +3,10 @@ package core
 import (
 	"testing"
 
+	"repro/internal/erlang"
 	"repro/internal/graph"
 	"repro/internal/netmodel"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -128,5 +130,74 @@ func TestAdaptiveRederiveKeepsSchemeWhenDisconnected(t *testing.T) {
 	}
 	if len(ad.memo) != 1 {
 		t.Errorf("%d memo entries after failed derivation, want 1", len(ad.memo))
+	}
+}
+
+// TestRederiveFromLoadsMatchesFromScratch drives the estimate-epoch entry
+// point after a link-down epoch and proves the result is bit-identical to
+// a from-scratch derivation on the degraded topology: same route table as
+// the failure-epoch hook would install, and protection levels equal to
+// Equation 15 evaluated directly (fresh cache, no memoization) on the
+// supplied loads.
+func TestRederiveFromLoadsMatchesFromScratch(t *testing.T) {
+	g := netmodel.Quadrangle()
+	s, err := New(g, traffic.Uniform(4, 85), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Adaptive(AdaptRederive, nil)
+	st := sim.NewState(g)
+	l01 := g.LinkBetween(0, 1)
+	l10 := g.LinkBetween(1, 0)
+	st.SetLinkDown(l01, true)
+	st.SetLinkDown(l10, true)
+
+	// Estimated loads, deliberately different from the matrix-derived ones.
+	loads := make([]float64, g.NumLinks())
+	for i := range loads {
+		loads[i] = 20 + 7*float64(i)
+	}
+	if !a.RederiveFromLoads(st, loads) {
+		t.Fatal("RederiveFromLoads refused a connected degraded topology")
+	}
+
+	// From scratch: clone, degrade, rebuild routes, evaluate Equation 15
+	// with a private cache.
+	g2 := g.Clone()
+	g2.SetDown(l01, true)
+	g2.SetDown(l10, true)
+	table, err := policy.BuildMinHop(g2, s.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]int, g.NumLinks())
+	for id := range caps {
+		caps[id] = g.Link(graph.LinkID(id)).Capacity
+	}
+	want := erlang.ProtectionLevels(loads, caps, table.MaxAltHops, erlang.NewCache())
+
+	got := a.dyn.Protection()
+	for id := range want {
+		if got[id] != want[id] {
+			t.Errorf("protection[%d] = %d, want from-scratch %d", id, got[id], want[id])
+		}
+	}
+	// The installed table must be the degraded-topology derivation — the
+	// same one the failure-epoch hook memoizes for this signature.
+	a.rederive(st)
+	if a.dyn.Table() == s.Table {
+		t.Error("RederiveFromLoads left the nominal table in place")
+	}
+
+	// Wrong-length loads and a disconnected topology are refused without
+	// touching the installed scheme.
+	before := a.dyn.Protection()
+	if a.RederiveFromLoads(st, loads[:2]) {
+		t.Error("wrong-length loads accepted")
+	}
+	for i := range before {
+		if a.dyn.Protection()[i] != before[i] {
+			t.Fatal("refused rederive mutated protection")
+		}
 	}
 }

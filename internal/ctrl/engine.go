@@ -1,0 +1,348 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/routetable"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Typed ingest errors. The engine is fed by untrusted clients, so every
+// malformed request maps to a sentinel the wire layer can report (and the
+// metrics count) instead of a panic.
+var (
+	// ErrDuplicateCall rejects an admit whose call id is already in flight.
+	ErrDuplicateCall = errors.New("ctrl: duplicate call id")
+	// ErrUnknownCall rejects a release for an id not in flight — a
+	// double-release lands here after the first release retired the id.
+	ErrUnknownCall = errors.New("ctrl: unknown call id")
+	// ErrBadNode rejects an admit whose origin or destination is outside
+	// the topology (or origin == destination).
+	ErrBadNode = errors.New("ctrl: invalid origin/destination")
+)
+
+// Decision is the outcome of one admission.
+type Decision struct {
+	CallID    int64
+	Admitted  bool
+	Alternate bool
+	// Links is the booked path (a row of the compiled table; empty for a
+	// zero-hop carry). Valid until the call is released.
+	Links []graph.LinkID
+	// BlockedAt is the first blocking link of the primary path when the
+	// call was lost (the paper's loss-attribution convention), else
+	// graph.InvalidLink.
+	BlockedAt graph.LinkID
+}
+
+// Metrics is a snapshot of the engine's decision counters.
+type Metrics struct {
+	Offered  uint64 `json:"offered"`
+	Admitted uint64 `json:"admitted"`
+	Blocked  uint64 `json:"blocked"`
+	Released uint64 `json:"released"`
+	// DuplicateAdmits / UnknownReleases count rejected requests (the
+	// latter includes double-releases); ReleaseIdle counts
+	// sim.TryRelease refusals — nonzero means occupancy bookkeeping
+	// disagreed with the inflight map, which should never happen.
+	DuplicateAdmits uint64 `json:"duplicate_admits"`
+	UnknownReleases uint64 `json:"unknown_releases"`
+	ReleaseIdle     uint64 `json:"release_idle"`
+	// Recompiles counts threshold rebuilds (topology + estimate epochs);
+	// FallbackDecisions counts admissions routed through the interpreted
+	// policy because the table would not compile.
+	Recompiles        uint64 `json:"recompiles"`
+	FallbackDecisions uint64 `json:"fallback_decisions"`
+	InFlight          int    `json:"in_flight"`
+}
+
+// Engine applies admission and release decisions against a live sim.State
+// through a compiled route table: the same thresholds and branch-poor row
+// scan as sim's runCompiled, so a request trace replayed through the
+// engine makes bit-identical decisions to an offline sim.Run of the
+// equivalent arrival trace. The engine is NOT safe for concurrent use —
+// the Server serializes all access through its batch loop.
+type Engine struct {
+	g  *graph.Graph
+	st *sim.State
+	tc sim.TableCompiler
+	// est, when non-nil, observes every primary set-up the engine decides
+	// (the live Λ̂ feedback loop); nil disables estimation entirely.
+	est *estimate.Estimator
+
+	// Compiled admission state, mirroring sim's fastEngine: thresh[s][k]
+	// is the maximum occupancy at which link k still admits under
+	// threshold set s (−1 for down links), rebuilt on every Recompile.
+	comp     *routetable.Compiled
+	thresh   [][]int
+	back     []int
+	altSets  []uint8
+	defAlt   int
+	compiled bool
+
+	// inflight maps call id → booked row. Rows alias the compiled table's
+	// immutable Links array (never mutated, never freed while referenced),
+	// so no per-call copy is needed.
+	inflight map[int64][]graph.LinkID
+
+	m Metrics
+}
+
+// NewEngine binds a decision engine to a topology, a live state (nil for
+// all-idle), a compilable policy, and an optional estimator. The policy's
+// table must compile for the topology — a daemon must fail loudly at
+// startup rather than silently serve interpreted decisions.
+func NewEngine(g *graph.Graph, st *sim.State, tc sim.TableCompiler, est *estimate.Estimator) (*Engine, error) {
+	if g == nil || tc == nil {
+		return nil, fmt.Errorf("ctrl: nil graph or policy")
+	}
+	if st == nil {
+		st = sim.NewState(g)
+	}
+	e := &Engine{g: g, st: st, tc: tc, est: est, inflight: make(map[int64][]graph.LinkID)}
+	if !e.Recompile() {
+		return nil, fmt.Errorf("ctrl: policy %q does not compile for this topology", tc.Name())
+	}
+	return e, nil
+}
+
+// State exposes the live network state (for status snapshots and the
+// adaptive scheme's rederivation; callers must not mutate it outside the
+// server's batch loop).
+func (e *Engine) State() *sim.State { return e.st }
+
+// Metrics returns a snapshot of the decision counters.
+func (e *Engine) Metrics() Metrics {
+	m := e.m
+	m.InFlight = len(e.inflight)
+	return m
+}
+
+// Recompile re-resolves the policy's compiled table and rebuilds every
+// threshold set from the state's current capacities and down flags — the
+// same rebuild sim's engines perform at failure/repair epochs. It reports
+// whether the compiled path is active; on failure the engine falls back
+// to interpreted Route calls (same decisions, slower) until a later
+// Recompile succeeds.
+func (e *Engine) Recompile() bool {
+	e.m.Recompiles++
+	comp, ok := e.tc.CompileRoutes()
+	if !ok || comp == nil || comp.Flat == nil ||
+		comp.NumNodes != e.g.NumNodes() || comp.NumLinks != e.g.NumLinks() {
+		e.compiled = false
+		return false
+	}
+	e.comp = comp
+	sets := len(comp.Prot)
+	if sets == 0 {
+		sets = 1
+	}
+	nl := comp.NumLinks
+	if cap(e.back) < sets*nl {
+		e.back = make([]int, sets*nl)
+	}
+	e.back = e.back[:sets*nl]
+	if cap(e.thresh) < sets {
+		e.thresh = make([][]int, sets)
+	}
+	e.thresh = e.thresh[:sets]
+	for s := 0; s < sets; s++ {
+		ts := e.back[s*nl : (s+1)*nl : (s+1)*nl]
+		e.thresh[s] = ts
+		var prot []int
+		if s > 0 && s < len(comp.Prot) {
+			// Set 0 is the primary rule: never protected.
+			prot = comp.Prot[s]
+		}
+		for id := 0; id < nl; id++ {
+			if e.st.LinkDown(graph.LinkID(id)) {
+				ts[id] = -1
+				continue
+			}
+			c := e.g.Link(graph.LinkID(id)).Capacity
+			r := 0
+			if id < len(prot) {
+				r = prot[id]
+			}
+			if r < 0 {
+				r = 0
+			}
+			if r > c {
+				r = c
+			}
+			ts[id] = c - r - 1
+		}
+	}
+	e.altSets = comp.AltSet
+	e.defAlt = 0
+	if sets > 1 {
+		e.defAlt = 1
+	}
+	e.compiled = true
+	return true
+}
+
+// SetLinkDown applies a link-down/link-up notification to the live state
+// and rebuilds the thresholds, exactly as the simulation engines do at
+// failure epochs. Calls in flight over a failing link stay booked (their
+// release keeps the accounting consistent, mirroring sim.State's
+// release-down-links rule).
+func (e *Engine) SetLinkDown(id graph.LinkID, down bool) {
+	e.st.SetLinkDown(id, down)
+	e.Recompile()
+}
+
+// Admit decides one call. now is the decision timestamp fed to the
+// estimator; callID must be unique among calls in flight (it keys the
+// later release) and drives the bifurcated-primary draw, so a replayed
+// trace must present the original call ids.
+func (e *Engine) Admit(now float64, callID int64, origin, dest graph.NodeID) (Decision, error) {
+	if o, d := int(origin), int(dest); o < 0 || d < 0 || o >= e.g.NumNodes() || d >= e.g.NumNodes() || o == d {
+		return Decision{CallID: callID}, fmt.Errorf("%w: %d→%d", ErrBadNode, origin, dest)
+	}
+	if _, dup := e.inflight[callID]; dup {
+		e.m.DuplicateAdmits++
+		return Decision{CallID: callID}, fmt.Errorf("%w: %d", ErrDuplicateCall, callID)
+	}
+	e.m.Offered++
+	if !e.compiled {
+		return e.admitInterpreted(now, callID, origin, dest), nil
+	}
+
+	f := e.comp
+	p := int(origin)*f.NumNodes + int(dest)
+	start, end := f.PairOff[p], f.PairOff[p+1]
+	alt0 := f.AltStart[p]
+	if alt0 == start {
+		// No primaries for the pair: the source table yields the empty
+		// path, which every state admits as a zero-hop carry (nothing
+		// booked) — identical to the simulator's empty-suite rule.
+		e.inflight[callID] = nil
+		e.m.Admitted++
+		if e.est != nil {
+			e.est.Advance(now)
+		}
+		return Decision{CallID: callID, Admitted: true, BlockedAt: graph.InvalidLink}, nil
+	}
+
+	// Primary selection: bifurcated pairs reproduce Table.SelectPrimary's
+	// weighted draw against the precomputed cumulative sums.
+	pr := start
+	if alt0-start > 1 {
+		u := xrand.Uniform01(f.SelectorSeed, callID)
+		pr = alt0 - 1
+		for r := start; r < alt0; r++ {
+			if u < f.PrimCum[r] {
+				pr = r
+				break
+			}
+		}
+	}
+	t0 := e.thresh[0]
+	prim := f.Links[f.RowOff[pr]:f.RowOff[pr+1]]
+	blockIdx := -1
+	for i, id := range prim {
+		if e.st.Occupancy(id) > t0[id] {
+			blockIdx = i
+			break
+		}
+	}
+	blockedAt := graph.InvalidLink
+	if blockIdx >= 0 {
+		blockedAt = prim[blockIdx]
+	}
+	if e.est != nil {
+		// Per the paper's convention the set-up packet is observed by each
+		// link up to and including the first blocking one, whatever the
+		// alternates then decide.
+		e.est.ObserveSetup(now, paths.Path{Links: prim}, blockedAt)
+	}
+	if blockIdx < 0 {
+		e.book(callID, prim)
+		return Decision{CallID: callID, Admitted: true, Links: prim, BlockedAt: graph.InvalidLink}, nil
+	}
+	if !f.NoAlternates {
+		for r := alt0; r < end; r++ {
+			ts := e.thresh[e.defAlt]
+			if e.altSets != nil {
+				ts = e.thresh[e.altSets[r]]
+			}
+			alt := f.Links[f.RowOff[r]:f.RowOff[r+1]]
+			good := true
+			for _, id := range alt {
+				if e.st.Occupancy(id) > ts[id] {
+					good = false
+					break
+				}
+			}
+			if good {
+				e.book(callID, alt)
+				return Decision{CallID: callID, Admitted: true, Alternate: true, Links: alt, BlockedAt: graph.InvalidLink}, nil
+			}
+		}
+	}
+	e.m.Blocked++
+	return Decision{CallID: callID, BlockedAt: blockedAt}, nil
+}
+
+// admitInterpreted is the fallback when the table would not compile: the
+// policy's Route method makes the (identical) decision at interpreted
+// speed.
+func (e *Engine) admitInterpreted(now float64, callID int64, origin, dest graph.NodeID) Decision {
+	e.m.FallbackDecisions++
+	c := sim.Call{ID: int(callID), Origin: origin, Dest: dest, Arrival: now}
+	if e.est != nil {
+		prim := e.tc.PrimaryPath(e.st, c)
+		_, blockedAt := e.st.PathAdmitsPrimary(prim)
+		e.est.ObserveSetup(now, prim, blockedAt)
+	}
+	if p, alternate, ok := e.tc.Route(e.st, c); ok {
+		e.book(callID, p.Links)
+		return Decision{CallID: callID, Admitted: true, Alternate: alternate, Links: p.Links, BlockedAt: graph.InvalidLink}
+	}
+	blockedAt := graph.InvalidLink
+	prim := e.tc.PrimaryPath(e.st, c)
+	if admitted, blockLink := e.st.PathAdmitsPrimary(prim); !admitted {
+		blockedAt = blockLink
+	}
+	e.m.Blocked++
+	return Decision{CallID: callID, BlockedAt: blockedAt}
+}
+
+// book records an admission: occupancy incremented on every hop, the row
+// remembered for the release. The admission scan just proved every hop
+// admits, so Occupy cannot panic.
+func (e *Engine) book(callID int64, links []graph.LinkID) {
+	if len(links) > 0 {
+		e.st.Occupy(paths.Path{Links: links})
+	}
+	e.inflight[callID] = links
+	e.m.Admitted++
+}
+
+// Release retires a call and frees its booked path. A release for an
+// unknown id — including the second half of a double-release — returns
+// ErrUnknownCall and touches nothing; the non-panicking sim.TryRelease
+// guards the state itself, so even a bookkeeping bug cannot crash the
+// daemon or drive occupancy negative.
+func (e *Engine) Release(callID int64) error {
+	links, ok := e.inflight[callID]
+	if !ok {
+		e.m.UnknownReleases++
+		return fmt.Errorf("%w: %d", ErrUnknownCall, callID)
+	}
+	delete(e.inflight, callID)
+	if len(links) > 0 {
+		if err := e.st.TryRelease(paths.Path{Links: links}); err != nil {
+			e.m.ReleaseIdle++
+			return err
+		}
+	}
+	e.m.Released++
+	return nil
+}

@@ -14,6 +14,7 @@ package estimate
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/erlang"
 	"repro/internal/graph"
@@ -33,6 +34,12 @@ type Estimator struct {
 	estimates []float64 // smoothed Erlang estimates
 	primed    []bool    // whether a link has completed one window
 	windowEnd float64
+	lastNow   float64 // high-water mark of observed timestamps
+	// regressions counts clock anomalies the estimator refused to act on:
+	// NaN/±Inf timestamps and timestamps behind lastNow. A live daemon feeds
+	// wall-ordered observations, so these are expected occasionally and must
+	// be ignored-with-a-counter, not fold into the wrong window.
+	regressions uint64
 }
 
 // New returns an estimator for the graph. Initial estimates are zero; use
@@ -85,10 +92,33 @@ func (e *Estimator) ObserveSetup(now float64, p paths.Path, blockedAt graph.Link
 	}
 }
 
+// rollCap bounds how many windows a single roll may fold. After this many
+// empty folds every estimate has decayed to numerically zero for any valid
+// Alpha, so a larger gap is closed with one O(1) jump of the window clock
+// instead of billions of no-op folds (which would stall the daemon's tick
+// loop on a large timestamp jump).
+const rollCap = 1 << 16
+
 // roll closes any windows that have elapsed by now, folding their counts
-// into the EWMA estimates.
+// into the EWMA estimates. It assumes nothing about the caller's clock: a
+// NaN, ±Inf, or regressing timestamp is ignored (counted in Regressions)
+// rather than corrupting or double-rolling the window, and an arbitrarily
+// large forward jump terminates. For monotone finite timestamps the fold
+// sequence is bit-identical to the naive loop.
 func (e *Estimator) roll(now float64) {
-	for now >= e.windowEnd {
+	if math.IsNaN(now) || math.IsInf(now, 0) || now < e.lastNow {
+		e.regressions++
+		return
+	}
+	e.lastNow = now
+	for folds := 0; now >= e.windowEnd; folds++ {
+		if folds >= rollCap {
+			// After rollCap empty folds the per-window decay has driven
+			// every estimate to (numerically) zero for any Alpha New
+			// accepts; realign the window clock past the gap.
+			e.windowEnd = now + e.Window
+			break
+		}
 		for id := range e.counts {
 			rate := e.counts[id] / e.Window
 			if e.primed[id] {
@@ -102,6 +132,15 @@ func (e *Estimator) roll(now float64) {
 		e.windowEnd += e.Window
 	}
 }
+
+// Advance rolls the window clock forward to now without recording any
+// set-up; the daemon's tick loop calls it so estimates decay during idle
+// periods. Clock anomalies are ignored and counted, as in roll.
+func (e *Estimator) Advance(now float64) { e.roll(now) }
+
+// Regressions reports how many observations carried an unusable timestamp
+// (NaN, ±Inf, or behind the high-water mark) and were ignored.
+func (e *Estimator) Regressions() uint64 { return e.regressions }
 
 // Estimate returns the current smoothed Λ̂ for the link.
 func (e *Estimator) Estimate(id graph.LinkID) float64 { return e.estimates[id] }
@@ -183,13 +222,24 @@ func (a *AdaptiveControlled) Route(s *sim.State, c sim.Call) (paths.Path, bool, 
 }
 
 func (a *AdaptiveControlled) refresh(now float64, s *sim.State) {
+	// A non-finite clock would spin the catch-up loop below forever; the
+	// estimator already refuses such timestamps, so refuse them here too.
+	if math.IsNaN(now) || math.IsInf(now, 0) {
+		return
+	}
 	a.Est.roll(now)
 	g := s.Graph()
 	for id := range a.r {
 		a.r[id] = erlang.ProtectionLevel(a.Est.Estimate(graph.LinkID(id)),
 			g.Link(graph.LinkID(id)).Capacity, a.h)
 	}
-	for now >= a.nextRefresh {
+	for steps := 0; now >= a.nextRefresh; steps++ {
+		if steps >= rollCap {
+			// Same large-gap escape as roll: realign instead of stepping
+			// through an astronomic number of missed refresh epochs.
+			a.nextRefresh = now + a.Refresh
+			break
+		}
 		a.nextRefresh += a.Refresh
 	}
 }

@@ -6,12 +6,26 @@ package netio
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/graph"
 	"repro/internal/traffic"
 )
+
+// ErrInvalidScenario is wrapped by every validation failure of
+// Scenario.Build, so long-running consumers (the altd daemon loads its
+// topology at startup) can distinguish a malformed scenario document from
+// an I/O error with errors.Is and fail loudly before any traffic is
+// admitted. The message chain always names the offending element.
+var ErrInvalidScenario = errors.New("netio: invalid scenario")
+
+// invalidf wraps a validation failure in ErrInvalidScenario.
+func invalidf(format string, a ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrInvalidScenario}, a...)...)
+}
 
 // Scenario is the on-disk description of a network and its workload.
 type Scenario struct {
@@ -63,28 +77,45 @@ func (s *Scenario) Write(w io.Writer) error {
 }
 
 // Build materializes the scenario into a graph and traffic matrix, resolving
-// node names and validating the description.
+// node names and validating the description. Every validation failure wraps
+// ErrInvalidScenario: self-loop or duplicate facilities, non-positive
+// capacities, self-loop or non-finite demands, unknown nodes, and a
+// disconnected topology are all rejected here with the offending element
+// named, rather than surfacing later as a panic inside sim.State.
 func (s *Scenario) Build() (*graph.Graph, *traffic.Matrix, error) {
 	if len(s.Nodes) < 2 {
-		return nil, nil, fmt.Errorf("netio: scenario needs at least 2 nodes (got %d)", len(s.Nodes))
+		return nil, nil, invalidf("needs at least 2 nodes (got %d)", len(s.Nodes))
 	}
 	g := graph.New()
 	ids := make(map[string]graph.NodeID, len(s.Nodes))
 	for _, name := range s.Nodes {
 		if name == "" {
-			return nil, nil, fmt.Errorf("netio: empty node name")
+			return nil, nil, invalidf("empty node name")
 		}
 		if _, dup := ids[name]; dup {
-			return nil, nil, fmt.Errorf("netio: duplicate node %q", name)
+			return nil, nil, invalidf("duplicate node %q", name)
 		}
 		ids[name] = g.AddNode(name)
 	}
 	lookup := func(name string) (graph.NodeID, error) {
 		id, ok := ids[name]
 		if !ok {
-			return graph.InvalidNode, fmt.Errorf("netio: unknown node %q", name)
+			return graph.InvalidNode, invalidf("unknown node %q", name)
 		}
 		return id, nil
+	}
+	// addFacility validates and installs one unidirectional facility; the
+	// graph layer's own rejections (self-loops, duplicates — including a
+	// Duplex colliding with an earlier Links entry or another Duplex) are
+	// folded into the same wrapped error.
+	addFacility := func(kind string, l LinkSpec, from, to graph.NodeID) error {
+		if l.Capacity <= 0 {
+			return invalidf("%s %s→%s: non-positive capacity %d", kind, l.From, l.To, l.Capacity)
+		}
+		if _, err := g.AddLink(from, to, l.Capacity); err != nil {
+			return invalidf("%s %s→%s: %v", kind, l.From, l.To, err)
+		}
+		return nil
 	}
 	for _, l := range s.Links {
 		from, err := lookup(l.From)
@@ -95,8 +126,8 @@ func (s *Scenario) Build() (*graph.Graph, *traffic.Matrix, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, err := g.AddLink(from, to, l.Capacity); err != nil {
-			return nil, nil, fmt.Errorf("netio: link %s→%s: %w", l.From, l.To, err)
+		if err := addFacility("link", l, from, to); err != nil {
+			return nil, nil, err
 		}
 	}
 	for _, l := range s.Duplex {
@@ -108,12 +139,15 @@ func (s *Scenario) Build() (*graph.Graph, *traffic.Matrix, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, _, err := g.AddDuplex(from, to, l.Capacity); err != nil {
-			return nil, nil, fmt.Errorf("netio: duplex %s↔%s: %w", l.From, l.To, err)
+		if err := addFacility("duplex", l, from, to); err != nil {
+			return nil, nil, err
+		}
+		if err := addFacility("duplex", l, to, from); err != nil {
+			return nil, nil, err
 		}
 	}
 	if !g.Connected() {
-		return nil, nil, fmt.Errorf("netio: scenario %q is not strongly connected", s.Name)
+		return nil, nil, invalidf("scenario %q is not strongly connected", s.Name)
 	}
 	m := traffic.NewMatrix(g.NumNodes())
 	for _, d := range s.Demands {
@@ -126,10 +160,10 @@ func (s *Scenario) Build() (*graph.Graph, *traffic.Matrix, error) {
 			return nil, nil, err
 		}
 		if from == to {
-			return nil, nil, fmt.Errorf("netio: demand %s→%s is a self-loop", d.From, d.To)
+			return nil, nil, invalidf("demand %s→%s is a self-loop", d.From, d.To)
 		}
-		if d.Erlangs < 0 {
-			return nil, nil, fmt.Errorf("netio: demand %s→%s is negative", d.From, d.To)
+		if d.Erlangs < 0 || math.IsNaN(d.Erlangs) || math.IsInf(d.Erlangs, 0) {
+			return nil, nil, invalidf("demand %s→%s has invalid load %v", d.From, d.To, d.Erlangs)
 		}
 		m.SetDemand(from, to, m.Demand(from, to)+d.Erlangs)
 	}

@@ -1,6 +1,7 @@
 package netio
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -95,9 +96,83 @@ func TestBuildValidation(t *testing.T) {
 		},
 	}
 	for name, s := range cases {
-		if _, _, err := s.Build(); err == nil {
+		_, _, err := s.Build()
+		if err == nil {
 			t.Errorf("%s: want error", name)
+			continue
 		}
+		if !errors.Is(err, ErrInvalidScenario) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidScenario", name, err)
+		}
+	}
+}
+
+// TestBuildRejectsMalformedFacilities covers the daemon-startup hardening:
+// non-positive capacities, self-loop facilities, and duplicate duplex
+// entries must fail loudly with a wrapped ErrInvalidScenario naming the
+// offending element, rather than building a network that panics later
+// inside sim.State. Pre-fix, zero capacities built silently and the graph
+// layer's rejections surfaced as untyped errors.
+func TestBuildRejectsMalformedFacilities(t *testing.T) {
+	valid := func() Scenario {
+		return Scenario{
+			Name:    "t",
+			Nodes:   []string{"a", "b"},
+			Duplex:  []LinkSpec{{From: "a", To: "b", Capacity: 10}},
+			Demands: []DemandSpec{{From: "a", To: "b", Erlangs: 3}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string // substring the error must carry
+	}{
+		{"zero capacity duplex", func(s *Scenario) { s.Duplex[0].Capacity = 0 }, "non-positive capacity"},
+		{"negative capacity duplex", func(s *Scenario) { s.Duplex[0].Capacity = -4 }, "non-positive capacity"},
+		{"zero capacity link", func(s *Scenario) {
+			s.Links = []LinkSpec{{From: "b", To: "a", Capacity: 0}}
+		}, "non-positive capacity"},
+		{"self-loop link", func(s *Scenario) {
+			s.Links = []LinkSpec{{From: "a", To: "a", Capacity: 5}}
+		}, "self-loop"},
+		{"self-loop duplex", func(s *Scenario) {
+			s.Duplex = append(s.Duplex, LinkSpec{From: "b", To: "b", Capacity: 5})
+		}, "self-loop"},
+		{"duplicate duplex", func(s *Scenario) {
+			s.Duplex = append(s.Duplex, LinkSpec{From: "a", To: "b", Capacity: 5})
+		}, "duplicate link"},
+		{"reversed duplicate duplex", func(s *Scenario) {
+			s.Duplex = append(s.Duplex, LinkSpec{From: "b", To: "a", Capacity: 5})
+		}, "duplicate link"},
+		{"duplex collides with link", func(s *Scenario) {
+			s.Links = []LinkSpec{{From: "a", To: "b", Capacity: 5}}
+		}, "duplicate link"},
+		{"duplicate link", func(s *Scenario) {
+			s.Duplex = nil
+			s.Links = []LinkSpec{
+				{From: "a", To: "b", Capacity: 5},
+				{From: "b", To: "a", Capacity: 5},
+				{From: "a", To: "b", Capacity: 7},
+			}
+		}, "duplicate link"},
+		{"NaN demand", func(s *Scenario) { s.Demands[0].Erlangs = math.NaN() }, "invalid load"},
+		{"Inf demand", func(s *Scenario) { s.Demands[0].Erlangs = math.Inf(1) }, "invalid load"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mut(&s)
+			_, _, err := s.Build()
+			if err == nil {
+				t.Fatal("Build accepted a malformed scenario")
+			}
+			if !errors.Is(err, ErrInvalidScenario) {
+				t.Errorf("error %v does not wrap ErrInvalidScenario", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the problem (want substring %q)", err, tc.want)
+			}
+		})
 	}
 }
 

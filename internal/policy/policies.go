@@ -94,6 +94,10 @@ func NewControlled(t *Table, linkLoads []float64) (Controlled, error) {
 // Name implements sim.Policy.
 func (p Controlled) Name() string { return "controlled-alternate" }
 
+// Protection returns the per-link protection levels r^k (indexed by
+// LinkID). The slice is the policy's own — callers must not mutate it.
+func (p Controlled) Protection() []int { return p.R }
+
 // PrimaryPath implements sim.Policy.
 func (p Controlled) PrimaryPath(_ *sim.State, c sim.Call) paths.Path {
 	return p.T.SelectPrimary(c)

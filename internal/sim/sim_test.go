@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -635,5 +636,55 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadTrace(&buf2); err == nil {
 		t.Error("unsorted trace: want error")
+	}
+}
+
+// TestTryRelease exercises the non-panicking release path used by the ctrl
+// ingest layer: a valid release succeeds, a double-release returns a typed
+// ErrReleaseIdle instead of panicking, and a refused multi-link release
+// rolls back the prefix it had already decremented so occupancy is
+// unchanged.
+func TestTryReleaseRefusesWithoutCorruption(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	ab := g.MustAddLink(a, b, 3)
+	bc := g.MustAddLink(b, c, 3)
+	g.MustAddLink(c, a, 3)
+	two := paths.Path{Nodes: []graph.NodeID{a, b, c}, Links: []graph.LinkID{ab, bc}}
+
+	s := NewState(g)
+	s.Occupy(two)
+	if err := s.TryRelease(two); err != nil {
+		t.Fatalf("valid release refused: %v", err)
+	}
+	if s.Occupancy(ab) != 0 || s.Occupancy(bc) != 0 {
+		t.Fatalf("occupancy after release: %d,%d", s.Occupancy(ab), s.Occupancy(bc))
+	}
+	// Double release: typed error, no panic, no negative occupancy.
+	err := s.TryRelease(two)
+	if !errors.Is(err, ErrReleaseIdle) {
+		t.Fatalf("double release: got %v, want ErrReleaseIdle", err)
+	}
+	if s.Occupancy(ab) != 0 || s.Occupancy(bc) != 0 {
+		t.Fatalf("double release corrupted occupancy: %d,%d", s.Occupancy(ab), s.Occupancy(bc))
+	}
+
+	// Partial refusal rolls back: ab occupied, bc idle. The scan
+	// decrements ab, hits idle bc, and must restore ab.
+	s.Occupy(paths.Path{Nodes: []graph.NodeID{a, b}, Links: []graph.LinkID{ab}})
+	err = s.TryRelease(two)
+	if !errors.Is(err, ErrReleaseIdle) {
+		t.Fatalf("partial release: got %v, want ErrReleaseIdle", err)
+	}
+	if s.Occupancy(ab) != 1 {
+		t.Fatalf("partial refusal did not roll back: occ(ab)=%d, want 1", s.Occupancy(ab))
+	}
+
+	// Out-of-range link id is refused, not a panic.
+	bad := paths.Path{Links: []graph.LinkID{graph.LinkID(99)}}
+	if err := s.TryRelease(bad); !errors.Is(err, ErrReleaseIdle) {
+		t.Fatalf("out-of-range release: got %v, want ErrReleaseIdle", err)
 	}
 }

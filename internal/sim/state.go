@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/graph"
@@ -169,6 +170,42 @@ func (s *State) Release(p paths.Path) {
 			panic(fmt.Errorf("sim: releasing idle link %d", id))
 		}
 		s.occ[id]--
+	}
+}
+
+// ErrReleaseIdle is returned by TryRelease when a path would release a
+// link with no calls in progress — in a live daemon that means a client
+// double-released (or released a call it never admitted), which must be
+// reported, not fatal.
+var ErrReleaseIdle = errors.New("sim: releasing idle link")
+
+// TryRelease frees one call from every link of the path, refusing instead
+// of panicking when any link is already idle. On refusal the state is left
+// exactly as it was — links decremented before the offending one are
+// re-incremented — so a malformed release from an untrusted client cannot
+// skew occupancy accounting. The simulator's own event loops keep using
+// Release: there a double-release is a bug worth crashing on; here it is
+// input to be rejected. Only the ctrl ingest path should call this.
+func (s *State) TryRelease(p paths.Path) error {
+	for i, id := range p.Links {
+		if uint(id) >= uint(len(s.occ)) {
+			s.undoRelease(p.Links[:i])
+			return fmt.Errorf("%w: link %d out of range", ErrReleaseIdle, id)
+		}
+		if s.occ[id] <= 0 {
+			s.undoRelease(p.Links[:i])
+			return fmt.Errorf("%w: link %d", ErrReleaseIdle, id)
+		}
+		s.occ[id]--
+	}
+	return nil
+}
+
+// undoRelease re-books the prefix of a path that TryRelease had already
+// decremented before hitting an idle link, restoring the pre-call state.
+func (s *State) undoRelease(links []graph.LinkID) {
+	for _, id := range links {
+		s.occ[id]++
 	}
 }
 
